@@ -1,0 +1,175 @@
+// Benchmarks regenerating each table and figure of the NEXUS evaluation
+// (DSN'19 §VII). Each benchmark stands up the simulated testbed — an
+// AFS-like server behind a simulated LAN, a NEXUS stack, and the plain
+// baseline — runs the corresponding experiment at a reduced scale, and
+// reports the NEXUS-over-baseline overhead factors as custom metrics.
+//
+// Paper-scale runs (full sizes, full counts) are produced by
+// cmd/nexus-bench; these benchmarks keep sizes small enough for
+// `go test -bench=.` to complete in minutes while preserving each
+// experiment's shape.
+package nexus_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nexus/internal/bench"
+	"nexus/internal/netsim"
+	"nexus/internal/workload"
+)
+
+// benchEnv builds a testbed on a fast simulated LAN.
+func benchEnv(b *testing.B, scale int64) *bench.Env {
+	b.Helper()
+	env, err := bench.NewEnv(bench.Config{
+		Profile: netsim.Profile{RTT: 200 * time.Microsecond, Bandwidth: 125 << 20},
+		Runs:    1,
+		Scale:   scale,
+	})
+	if err != nil {
+		b.Fatalf("NewEnv: %v", err)
+	}
+	b.Cleanup(env.Close)
+	return env
+}
+
+// BenchmarkTable5aFileIO regenerates Table 5a (file I/O latency).
+func BenchmarkTable5aFileIO(b *testing.B) {
+	env := benchEnv(b, 16) // 16x smaller files: 64KB .. 4MB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FileIO(env, []int{1, 2, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Nexus)/float64(r.OpenAFS),
+					fmt.Sprintf("x-overhead-%dMB", r.SizeMB))
+			}
+		}
+	}
+}
+
+// BenchmarkTable5bDirOps regenerates Table 5b (directory operations).
+func BenchmarkTable5bDirOps(b *testing.B) {
+	env := benchEnv(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DirOps(env, []int{128, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Nexus)/float64(r.OpenAFS),
+					fmt.Sprintf("x-overhead-%dfiles", r.NumFiles))
+			}
+		}
+	}
+}
+
+// BenchmarkFig5cGitClone regenerates Fig. 5c (repository clones) over a
+// scaled-down redis-shaped tree.
+func BenchmarkFig5cGitClone(b *testing.B) {
+	env := benchEnv(b, 64)
+	spec := workload.Redis
+	spec.NumFiles /= 4
+	spec.NumDirs /= 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.GitClone(env, []workload.TreeSpec{spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].Overhead, "x-overhead-redis")
+		}
+	}
+}
+
+// BenchmarkTableIIDatabase regenerates Table II (LevelDB- and
+// SQLite-style database workloads).
+func BenchmarkTableIIDatabase(b *testing.B) {
+	env := benchEnv(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Database(env, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Overhead, "x-"+r.Engine+"-"+r.Operation)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6LinuxApps regenerates Fig. 6 (tar/du/grep/cp/mv) over a
+// scaled-down SFLD workload.
+func BenchmarkFig6LinuxApps(b *testing.B) {
+	env := benchEnv(b, 1)
+	spec := workload.FlatSpec{Name: "sfld-small", NumFiles: 64, FileSize: 10 << 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.LinuxApps(env, []workload.FlatSpec{spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Overhead, "x-"+r.App)
+			}
+		}
+	}
+}
+
+// BenchmarkRevocation regenerates the §VII-E revocation estimates.
+func BenchmarkRevocation(b *testing.B) {
+	spec := workload.FlatSpec{Name: "sfld", NumFiles: 128, FileSize: 10 << 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh env per iteration: revocation mutates ACL state.
+		b.StopTimer()
+		env, err := bench.NewEnv(bench.Config{Loopback: true, Runs: 1, Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rows, err := bench.Revocation(env, []workload.FlatSpec{spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			r := rows[0]
+			b.ReportMetric(float64(r.NexusBytes), "nexus-bytes")
+			b.ReportMetric(float64(r.CryptoBytes), "cryptofs-bytes")
+			b.ReportMetric(float64(r.CryptoBytes)/float64(r.NexusBytes), "x-savings")
+		}
+		b.StopTimer()
+		env.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSharing regenerates the §VII-F sharing cost notes.
+func BenchmarkSharing(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env, err := bench.NewEnv(bench.Config{Loopback: true, Runs: 1, Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := bench.Sharing(env); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		env.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,49 @@
+// nexus-afsd runs the AFS-like file server that NEXUS volumes (and the
+// plain baseline) stack on. It is the untrusted storage service of the
+// paper's threat model: it sees only encrypted objects with obfuscated
+// names.
+//
+// Usage:
+//
+//	nexus-afsd [-addr host:port] [-dir path]
+//
+// With -dir, objects persist to a local directory; otherwise the server
+// is memory-backed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nexus/internal/afs"
+	"nexus/internal/backend"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	dir := flag.String("dir", "", "persist objects to this directory (empty = in-memory)")
+	flag.Parse()
+
+	var store backend.Store
+	if *dir != "" {
+		ds, err := backend.NewDirStore(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexus-afsd: %v\n", err)
+			os.Exit(1)
+		}
+		store = ds
+		log.Printf("nexus-afsd: persisting to %s", *dir)
+	} else {
+		store = backend.NewMemStore()
+		log.Printf("nexus-afsd: in-memory store")
+	}
+
+	srv := afs.NewServer(store)
+	srv.SetLogger(log.Printf)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "nexus-afsd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// nexus-bench regenerates the tables and figures of the NEXUS evaluation
+// (DSN'19 §VII) on the simulated testbed.
+//
+// Usage:
+//
+//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|sharing]
+//	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
+//	            [-entries N] [-transition duration] [-no-cache]
+//
+// -scale divides workload file *sizes* (never counts) so paper-scale
+// experiments (-scale 1) and quick runs (-scale 1024) use identical
+// operation mixes. The defaults complete in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nexus/internal/bench"
+	"nexus/internal/netsim"
+	"nexus/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nexus-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|sharing|ablation")
+	scale := flag.Int64("scale", 64, "divide workload file sizes by this factor (1 = paper scale)")
+	runs := flag.Int("runs", 3, "repetitions averaged per measurement")
+	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated network round-trip time")
+	bw := flag.Int64("bw", 125, "simulated bandwidth in MiB/s (0 = unlimited)")
+	entries := flag.Int("entries", 2000, "database benchmark entry count")
+	transition := flag.Duration("transition", 4*time.Microsecond, "simulated enclave transition cost")
+	noCache := flag.Bool("no-cache", false, "disable the in-enclave metadata cache (ablation)")
+	dirCounts := flag.String("dirs", "1024,2048,4096,8192", "comma-separated file counts for dirops")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Profile:              netsim.Profile{RTT: *rtt, Bandwidth: *bw << 20},
+		TransitionCost:       *transition,
+		Runs:                 *runs,
+		Scale:                *scale,
+		DisableMetadataCache: *noCache,
+	}
+	if *bw == 0 {
+		cfg.Profile.Bandwidth = 0
+	}
+
+	fmt.Printf("NEXUS evaluation harness — rtt=%v bw=%dMiB/s scale=%d runs=%d transition=%v cache=%v\n\n",
+		*rtt, *bw, *scale, *runs, *transition, !*noCache)
+
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fileio") {
+		rows, err := bench.FileIO(env, []int{1, 2, 16, 64})
+		if err != nil {
+			return fmt.Errorf("fileio: %w", err)
+		}
+		bench.PrintFileIO(os.Stdout, rows)
+	}
+	if want("dirops") {
+		var counts []int
+		for _, s := range splitCSV(*dirCounts) {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n <= 0 {
+				return fmt.Errorf("bad -dirs value %q", s)
+			}
+			counts = append(counts, n)
+		}
+		rows, err := bench.DirOps(env, counts)
+		if err != nil {
+			return fmt.Errorf("dirops: %w", err)
+		}
+		bench.PrintDirOps(os.Stdout, rows)
+	}
+	if want("gitclone") {
+		rows, err := bench.GitClone(env, []workload.TreeSpec{workload.Redis, workload.Julia, workload.NodeJS})
+		if err != nil {
+			return fmt.Errorf("gitclone: %w", err)
+		}
+		bench.PrintGitClone(os.Stdout, rows)
+	}
+	if want("db") {
+		rows, err := bench.Database(env, *entries)
+		if err != nil {
+			return fmt.Errorf("db: %w", err)
+		}
+		bench.PrintDatabase(os.Stdout, rows)
+	}
+	if want("apps") {
+		rows, err := bench.LinuxApps(env, []workload.FlatSpec{workload.LFSD, workload.MFMD, workload.SFLD})
+		if err != nil {
+			return fmt.Errorf("apps: %w", err)
+		}
+		bench.PrintLinuxApps(os.Stdout, rows)
+	}
+	if want("revoke") {
+		rows, err := bench.Revocation(env, []workload.FlatSpec{workload.SFLD, workload.LFSD})
+		if err != nil {
+			return fmt.Errorf("revoke: %w", err)
+		}
+		bench.PrintRevocation(os.Stdout, rows)
+	}
+	if want("sharing") {
+		rows, err := bench.Sharing(env)
+		if err != nil {
+			return fmt.Errorf("sharing: %w", err)
+		}
+		bench.PrintSharing(os.Stdout, rows)
+	}
+	if *exp == "ablation" {
+		const files = 512
+		rows, err := bench.Ablation(cfg, files)
+		if err != nil {
+			return fmt.Errorf("ablation: %w", err)
+		}
+		bench.PrintAblation(os.Stdout, files, rows)
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Quickstart: create a NEXUS volume, write and read protected files, and
+// look at what the (untrusted) storage service actually sees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nexus"
+	"nexus/internal/backend"
+	"nexus/internal/vfs"
+)
+
+func main() {
+	// The attestation service stands in for Intel's IAS; every client
+	// that will exchange volumes shares one.
+	ias, err := nexus.NewAttestationService()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The backing store is whatever file-API service you have. Here: an
+	// in-memory store we can inspect afterwards. (Use nexus.NewLocalStore
+	// for a directory, or an afs.Client for the networked server.)
+	raw := backend.NewMemStore()
+	client, err := nexus.NewClient(nexus.ClientConfig{
+		Store: vfs.NewVersionedStore(raw),
+		IAS:   ias,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Identities are Ed25519 keypairs; the private key never enters the
+	// enclave.
+	owner, err := nexus.NewIdentity("owen")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CreateVolume generates the rootkey inside the enclave and returns
+	// it SGX-sealed: persist sealedKey like a machine credential.
+	vol, sealedKey, err := client.CreateVolume(owner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created volume %s (sealed rootkey: %d bytes)\n", vol.ID(), len(sealedKey))
+
+	// The volume behaves like a normal filesystem.
+	fs := vol.FS()
+	if err := fs.MkdirAll("/docs/reports"); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/reports/q1.txt", []byte("quarterly numbers: 42")); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.Symlink("reports/q1.txt", "/docs/latest"); err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := fs.ReadFile("/docs/reports/q1.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", data)
+
+	entries, err := fs.ReadDir("/docs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("listing /docs:")
+	for _, e := range entries {
+		kind := "file"
+		if e.IsDir {
+			kind = "dir"
+		} else if e.IsSymlink {
+			kind = "symlink -> " + e.SymlinkTarget
+		}
+		fmt.Printf("  %-10s %s\n", e.Name, kind)
+	}
+
+	// What does the storage service see? Encrypted blobs under random
+	// names — no filenames, no directory structure, no plaintext.
+	names, err := raw.List("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe storage provider sees %d objects:\n", len(names))
+	for i, name := range names {
+		if i == 4 {
+			fmt.Printf("  ... and %d more\n", len(names)-4)
+			break
+		}
+		blob, err := raw.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  (%d bytes of ciphertext)\n", name, len(blob))
+	}
+
+	// Remounting later requires the sealed key and the user's identity.
+	vol2, err := client.Mount(owner, sealedKey, vol.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := vol2.FS().ReadFile("/docs/reports/q1.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter remount: %q\n", again)
+}

@@ -1,0 +1,134 @@
+// Sharing: the full Fig. 4 rootkey exchange between two machines.
+//
+// Owen owns a volume on a shared AFS-like server. Alice, on a different
+// (simulated) SGX machine, wants access. The exchange is entirely
+// in-band — both protocol messages are ordinary files on the shared
+// store — and the rootkey is only ever released to an enclave that
+// remote attestation proves is a genuine NEXUS enclave.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"nexus"
+	"nexus/internal/afs"
+	"nexus/internal/backend"
+)
+
+func main() {
+	// Shared infrastructure: one storage server, one attestation service.
+	server := afs.NewServer(backend.NewMemStore())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = server.Serve(l) }()
+	defer server.Close()
+	addr := l.Addr().String()
+
+	ias, err := nexus.NewAttestationService()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	newMachine := func() (*nexus.Client, *afs.Client) {
+		store, err := afs.Dial(addr, afs.ClientConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		client, err := nexus.NewClient(nexus.ClientConfig{Store: store, IAS: ias})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return client, store
+	}
+
+	// --- Owen's machine: create and populate the volume. ---
+	owenClient, owenStore := newMachine()
+	owen, err := nexus.NewIdentity("owen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vol, _, err := owenClient.CreateVolume(owen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := vol.FS()
+	if err := fs.MkdirAll("/shared"); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteFile("/shared/plan.txt", []byte("the plan: ship it")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owen created volume %s\n", vol.ID())
+
+	// --- Alice's machine. ---
+	aliceClient, aliceStore := newMachine()
+	alice, err := nexus.NewIdentity("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Setup (m1): Alice's enclave quotes its ECDH key; she signs and
+	// publishes the offer as a file on the shared store.
+	offer, err := aliceClient.CreateShareOffer(alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := aliceStore.Put("xchg-offer-alice", offer); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice published her offer (%d bytes, in-band)\n", len(offer))
+
+	// Exchange (m2): Owen fetches the offer, verifies Alice's signature
+	// and her enclave's attestation, admits her to the volume, and
+	// publishes the grant — the rootkey encrypted to her enclave.
+	offerBytes, err := owenStore.Get("xchg-offer-alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	grant, err := vol.GrantAccess(offerBytes, "alice", alice.PublicKey, owen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := owenStore.Put("xchg-grant-alice", grant); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owen verified alice's enclave and published the grant (%d bytes)\n", len(grant))
+
+	// Owen also grants directory permissions (the rootkey alone does not
+	// authorize file access — ACLs are enforced in the enclave).
+	if err := vol.SetACL("/", "alice", nexus.Lookup); err != nil {
+		log.Fatal(err)
+	}
+	if err := vol.SetACL("/shared", "alice", nexus.ReadOnly); err != nil {
+		log.Fatal(err)
+	}
+
+	// Extraction: Alice recovers the rootkey inside her enclave, sealed
+	// to her machine, and mounts.
+	grantBytes, err := aliceStore.Get("xchg-grant-alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sealedForAlice, volID, err := aliceClient.AcceptShareGrant(grantBytes, owen.PublicKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aliceVol, err := aliceClient.Mount(alice, sealedForAlice, volID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := aliceVol.FS().ReadFile("/shared/plan.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice mounted %s and read: %q\n", volID, data)
+
+	// Write access was not granted: the enclave denies it.
+	if err := aliceVol.FS().WriteFile("/shared/plan.txt", []byte("hijacked")); err != nil {
+		fmt.Printf("alice's write denied as expected: %v\n", err)
+	}
+}

@@ -1,0 +1,202 @@
+package acl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/serial"
+)
+
+func TestRightsHas(t *testing.T) {
+	if !ReadWrite.Has(Read) || !ReadWrite.Has(Lookup|Write) {
+		t.Fatal("ReadWrite missing expected rights")
+	}
+	if ReadOnly.Has(Write) {
+		t.Fatal("ReadOnly includes Write")
+	}
+	if None.Has(Lookup) {
+		t.Fatal("None includes Lookup")
+	}
+	if !All.Has(Administer) {
+		t.Fatal("All missing Administer")
+	}
+}
+
+func TestRightsStringAndParse(t *testing.T) {
+	cases := []struct {
+		r    Rights
+		want string
+	}{
+		{None, "none"},
+		{ReadOnly, "lr"},
+		{ReadWrite, "lridw"},
+		{All, "lridwa"},
+		{Lookup | Write, "lw"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%016b.String() = %q, want %q", uint16(c.r), got, c.want)
+		}
+		back, err := ParseRights(c.want)
+		if err != nil {
+			t.Errorf("ParseRights(%q): %v", c.want, err)
+			continue
+		}
+		if back != c.r {
+			t.Errorf("ParseRights(%q) = %v, want %v", c.want, back, c.r)
+		}
+	}
+
+	for _, shorthand := range []struct {
+		in   string
+		want Rights
+	}{
+		{"read", ReadOnly}, {"write", ReadWrite}, {"all", All}, {"none", None}, {"", None},
+	} {
+		got, err := ParseRights(shorthand.in)
+		if err != nil || got != shorthand.want {
+			t.Errorf("ParseRights(%q) = %v, %v", shorthand.in, got, err)
+		}
+	}
+
+	if _, err := ParseRights("rx"); err == nil {
+		t.Fatal("ParseRights accepted unknown right")
+	}
+}
+
+func TestListSetGetRemove(t *testing.T) {
+	var l List
+	if got := l.Get(7); got != None {
+		t.Fatalf("empty list Get = %v", got)
+	}
+	l.Set(7, ReadOnly)
+	l.Set(9, ReadWrite)
+	if got := l.Get(7); got != ReadOnly {
+		t.Fatalf("Get(7) = %v", got)
+	}
+	// Replace.
+	l.Set(7, ReadWrite)
+	if got := l.Get(7); got != ReadWrite {
+		t.Fatalf("Get(7) after replace = %v", got)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Remove via Set(None).
+	l.Set(7, None)
+	if got := l.Get(7); got != None {
+		t.Fatalf("Get(7) after revoke = %v", got)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len after revoke = %d", l.Len())
+	}
+	if !l.Remove(9) {
+		t.Fatal("Remove(9) = false")
+	}
+	if l.Remove(9) {
+		t.Fatal("second Remove(9) = true")
+	}
+}
+
+func TestCheckDefaultDeny(t *testing.T) {
+	var l List
+	if _, ok := l.Check(42, false, Lookup); ok {
+		t.Fatal("empty ACL granted access to non-owner")
+	}
+}
+
+func TestCheckOwnerOverride(t *testing.T) {
+	var l List
+	d, ok := l.Check(1, true, All)
+	if !ok {
+		t.Fatal("owner denied")
+	}
+	if d.Have != All {
+		t.Fatalf("owner Have = %v", d.Have)
+	}
+}
+
+func TestCheckPartialRightsDenied(t *testing.T) {
+	var l List
+	l.Set(5, ReadOnly)
+	if _, ok := l.Check(5, false, Read); !ok {
+		t.Fatal("Read denied despite ReadOnly grant")
+	}
+	if _, ok := l.Check(5, false, Read|Write); ok {
+		t.Fatal("Write granted with only ReadOnly")
+	}
+	d, _ := l.Check(5, false, Write)
+	if d.Have != ReadOnly || d.Want != Write {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var l List
+	l.Set(1, ReadOnly)
+	l.Set(2, ReadWrite)
+	l.Set(1000000, All)
+
+	w := serial.NewWriter(64)
+	l.Encode(w)
+	r := serial.NewReader(w.Bytes())
+	got := DecodeList(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Len() != 3 || got.Get(2) != ReadWrite || got.Get(1000000) != All {
+		t.Fatalf("round trip = %+v", got.Entries())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	var l List
+	l.Set(1, ReadOnly)
+	c := l.Clone()
+	c.Set(1, All)
+	if l.Get(1) != ReadOnly {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEntriesIsACopy(t *testing.T) {
+	var l List
+	l.Set(1, ReadOnly)
+	es := l.Entries()
+	es[0].Rights = All
+	if l.Get(1) != ReadOnly {
+		t.Fatal("Entries aliases internal storage")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(ids []uint32, rights []uint16) bool {
+		var l List
+		for i, id := range ids {
+			if i >= len(rights) {
+				break
+			}
+			r := Rights(rights[i]) & All
+			if r == None {
+				r = Lookup
+			}
+			l.Set(id, r)
+		}
+		w := serial.NewWriter(16 * l.Len())
+		l.Encode(w)
+		rd := serial.NewReader(w.Bytes())
+		got := DecodeList(rd)
+		if rd.Finish() != nil || got.Len() != l.Len() {
+			return false
+		}
+		for _, e := range l.Entries() {
+			if got.Get(e.UserID) != e.Rights {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,486 @@
+package afs
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/backend"
+	"nexus/internal/netsim"
+	"nexus/internal/serial"
+	"nexus/internal/uuid"
+)
+
+// DefaultCacheBytes is the default client cache budget (AFS cache
+// managers default to hundreds of MiB of disk cache; we hold whole files
+// in memory).
+const DefaultCacheBytes = 512 << 20
+
+// ClientConfig tunes a client.
+type ClientConfig struct {
+	// Profile simulates the network between client and server.
+	Profile netsim.Profile
+	// CacheBytes bounds the whole-file cache; 0 means DefaultCacheBytes,
+	// negative disables caching entirely.
+	CacheBytes int64
+	// DisableCallbacks skips the callback channel; the cache then only
+	// invalidates on the client's own writes. Used by tests and by the
+	// cache-ablation benchmark.
+	DisableCallbacks bool
+}
+
+// Client is a caching AFS client. It implements backend.Store, so a
+// NEXUS volume can be stacked directly on top of it.
+//
+// Consistency model (matching AFS): whole files are fetched on first
+// access and cached; the server records a callback promise and notifies
+// the client if another client changes the file, invalidating the cached
+// copy. Writes are write-through. Advisory locks are server-side and
+// exclusive.
+type Client struct {
+	id      string
+	conn    net.Conn
+	cbConn  net.Conn
+	profile netsim.Profile
+
+	reqMu sync.Mutex // serializes request/response exchanges
+	reqID uint64
+
+	cache *fileCache
+
+	closed atomic.Bool
+
+	// Stats for the benchmark breakdowns.
+	rpcs      atomic.Int64
+	cacheHits atomic.Int64
+}
+
+var _ backend.Store = (*Client)(nil)
+
+// Dial connects to an AFS server at addr.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := netsim.Dial(addr, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		id:      uuid.New().String(),
+		conn:    conn,
+		profile: cfg.Profile,
+	}
+	if cfg.CacheBytes >= 0 {
+		budget := cfg.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		}
+		c.cache = newFileCache(budget)
+	}
+	if err := c.hello(conn, false); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !cfg.DisableCallbacks && c.cache != nil {
+		cbConn, err := netsim.Dial(addr, cfg.Profile)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if err := c.hello(cbConn, true); err != nil {
+			conn.Close()
+			cbConn.Close()
+			return nil, err
+		}
+		c.cbConn = cbConn
+		go c.callbackLoop(cbConn)
+	}
+	return c, nil
+}
+
+func (c *Client) hello(conn net.Conn, isCallback bool) error {
+	w := serial.NewWriter(64)
+	w.WriteString(c.id)
+	w.WriteBool(isCallback)
+	if err := writeFrame(conn, frame{op: opHello, reqID: 0, body: w.Bytes()}); err != nil {
+		return err
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("afs: hello handshake: %w", err)
+	}
+	if resp.op != opReply {
+		return fmt.Errorf("%w: hello rejected", ErrProtocol)
+	}
+	return nil
+}
+
+// callbackLoop consumes invalidation frames until the channel drops.
+func (c *Client) callbackLoop(conn net.Conn) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.op != opInvalidate {
+			continue
+		}
+		name, err := decodeName(f.body)
+		if err != nil {
+			continue
+		}
+		if c.cache != nil {
+			c.cache.invalidate(name)
+		}
+	}
+}
+
+// Close terminates the client's connections.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	closeWrite(c.conn)
+	err := c.conn.Close()
+	if c.cbConn != nil {
+		_ = c.cbConn.Close()
+	}
+	return err
+}
+
+// call performs one RPC exchange.
+func (c *Client) call(op opCode, body []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	c.reqID++
+	id := c.reqID
+	c.rpcs.Add(1)
+	if err := writeFrame(c.conn, frame{op: op, reqID: id, body: body}); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("afs: reading response: %w", err)
+	}
+	if resp.reqID != id {
+		return nil, fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.reqID, id)
+	}
+	switch resp.op {
+	case opReply:
+		return resp.body, nil
+	case opError:
+		return nil, decodeError(resp.body)
+	default:
+		return nil, fmt.Errorf("%w: unexpected op %d", ErrProtocol, resp.op)
+	}
+}
+
+// Get implements backend.Store: it returns the file contents, from cache
+// when the callback promise is intact. Negative results are cached too:
+// the server promises to break the callback when the file appears.
+func (c *Client) Get(name string) ([]byte, error) {
+	data, _, err := c.GetVersioned(name)
+	return data, err
+}
+
+// Put implements backend.Store with write-through semantics.
+func (c *Client) Put(name string, data []byte) error {
+	w := serial.NewWriter(8 + len(name) + len(data))
+	w.WriteString(name)
+	w.WriteBytes(data)
+	body, err := c.call(opStore, w.Bytes())
+	if err != nil {
+		return err
+	}
+	r := serial.NewReader(body)
+	version := r.ReadUint64("version")
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if c.cache != nil {
+		c.cache.put(name, data, version)
+	}
+	return nil
+}
+
+// Delete implements backend.Store. The deletion is remembered as a
+// negative cache entry.
+func (c *Client) Delete(name string) error {
+	_, err := c.call(opRemove, encodeName(name))
+	if c.cache != nil {
+		if err == nil {
+			c.cache.putNegative(name)
+		} else {
+			c.cache.invalidate(name)
+		}
+	}
+	return err
+}
+
+// List implements backend.Store.
+func (c *Client) List(prefix string) ([]string, error) {
+	body, err := c.call(opList, encodeName(prefix))
+	if err != nil {
+		return nil, err
+	}
+	r := serial.NewReader(body)
+	n := r.ReadCount(0, "name count")
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, r.ReadString(0, "name"))
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// Lock implements backend.Store: a server-side exclusive advisory lock,
+// the analogue of flock() on an AFS file. Acquiring the lock drops any
+// cached copy of the file: a pending invalidation may still be in
+// flight, and a locked read-modify-write must observe the latest
+// contents (AFS revalidates with the server on open).
+func (c *Client) Lock(name string) (func(), error) {
+	if _, err := c.call(opLock, encodeName(name)); err != nil {
+		return nil, err
+	}
+	if c.cache != nil {
+		c.cache.invalidate(name)
+	}
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		if _, err := c.call(opUnlock, encodeName(name)); err != nil && !c.closed.Load() {
+			// An unlock can only fail if the connection died, in which
+			// case the server releases the lock on disconnect anyway.
+			_ = err
+		}
+	}, nil
+}
+
+// GetVersioned returns a file's contents and version, serving warm reads
+// from the cache. It lets the NEXUS enclave validate its in-enclave
+// decrypted-metadata cache against the same version stream that AFS
+// callbacks keep fresh.
+func (c *Client) GetVersioned(name string) ([]byte, uint64, error) {
+	if c.cache != nil {
+		data, negative, version, ok := c.cache.lookup(name)
+		if ok {
+			c.cacheHits.Add(1)
+			return data, version, nil
+		}
+		if negative {
+			c.cacheHits.Add(1)
+			return nil, 0, fmt.Errorf("afs: %s (cached): %w", name, backend.ErrNotExist)
+		}
+	}
+	body, err := c.call(opFetch, encodeName(name))
+	if err != nil {
+		if c.cache != nil && errors.Is(err, backend.ErrNotExist) {
+			c.cache.putNegative(name)
+		}
+		return nil, 0, err
+	}
+	r := serial.NewReader(body)
+	version := r.ReadUint64("version")
+	data := r.ReadBytes(maxFrameSize, "data")
+	if err := r.Finish(); err != nil {
+		return nil, 0, err
+	}
+	if c.cache != nil {
+		c.cache.put(name, data, version)
+	}
+	return data, version, nil
+}
+
+// PutVersioned stores a file and returns its new version.
+func (c *Client) PutVersioned(name string, data []byte) (uint64, error) {
+	w := serial.NewWriter(8 + len(name) + len(data))
+	w.WriteString(name)
+	w.WriteBytes(data)
+	body, err := c.call(opStore, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := serial.NewReader(body)
+	version := r.ReadUint64("version")
+	if err := r.Finish(); err != nil {
+		return 0, err
+	}
+	if c.cache != nil {
+		c.cache.put(name, data, version)
+	}
+	return version, nil
+}
+
+// Stat describes a remote file.
+type Stat struct {
+	Exists  bool
+	Version uint64
+	Size    uint64
+}
+
+// StatFile queries a file's existence, version and size without
+// transferring its contents.
+func (c *Client) StatFile(name string) (Stat, error) {
+	body, err := c.call(opStat, encodeName(name))
+	if err != nil {
+		return Stat{}, err
+	}
+	r := serial.NewReader(body)
+	st := Stat{
+		Exists:  r.ReadBool("exists"),
+		Version: r.ReadUint64("version"),
+		Size:    r.ReadUint64("size"),
+	}
+	if err := r.Finish(); err != nil {
+		return Stat{}, err
+	}
+	return st, nil
+}
+
+// Ping round-trips an empty frame, measuring liveness and RTT.
+func (c *Client) Ping() error {
+	_, err := c.call(opPing, nil)
+	return err
+}
+
+// FlushCache drops all cached file copies, forcing the next reads to hit
+// the server (the evaluation flushes the AFS cache between runs).
+func (c *Client) FlushCache() {
+	if c.cache != nil {
+		c.cache.flush()
+	}
+}
+
+// Stats reports cumulative RPCs issued and cache hits served.
+func (c *Client) Stats() (rpcs, cacheHits int64) {
+	return c.rpcs.Load(), c.cacheHits.Load()
+}
+
+// fileCache is a byte-budgeted LRU of whole files.
+type fileCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // of *cacheEntry, front = most recent
+	byName map[string]*list.Element
+}
+
+type cacheEntry struct {
+	name    string
+	data    []byte
+	version uint64
+	// negative marks a cached does-not-exist result, valid under the
+	// same callback promise as positive entries (the server notifies on
+	// creation).
+	negative bool
+}
+
+func newFileCache(budget int64) *fileCache {
+	return &fileCache{
+		budget: budget,
+		lru:    list.New(),
+		byName: make(map[string]*list.Element),
+	}
+}
+
+func (fc *fileCache) get(name string) ([]byte, bool) {
+	data, _, ok := fc.getVersioned(name)
+	return data, ok
+}
+
+func (fc *fileCache) getVersioned(name string) ([]byte, uint64, bool) {
+	data, _, version, ok := fc.lookup(name)
+	return data, version, ok
+}
+
+// lookup returns (data, negative, version, found).
+func (fc *fileCache) lookup(name string) ([]byte, bool, uint64, bool) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	el, ok := fc.byName[name]
+	if !ok {
+		return nil, false, 0, false
+	}
+	fc.lru.MoveToFront(el)
+	entry := el.Value.(*cacheEntry)
+	if entry.negative {
+		return nil, true, 0, false
+	}
+	out := make([]byte, len(entry.data))
+	copy(out, entry.data)
+	return out, false, entry.version, true
+}
+
+// putNegative caches a does-not-exist result.
+func (fc *fileCache) putNegative(name string) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if el, ok := fc.byName[name]; ok {
+		fc.removeElement(el)
+	}
+	el := fc.lru.PushFront(&cacheEntry{name: name, negative: true})
+	fc.byName[name] = el
+}
+
+func (fc *fileCache) put(name string, data []byte, version uint64) {
+	if int64(len(data)) > fc.budget {
+		return // larger than the whole cache; do not thrash
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if el, ok := fc.byName[name]; ok {
+		entry := el.Value.(*cacheEntry)
+		fc.used += int64(len(cp)) - int64(len(entry.data))
+		entry.data = cp
+		entry.version = version
+		entry.negative = false
+		fc.lru.MoveToFront(el)
+	} else {
+		el := fc.lru.PushFront(&cacheEntry{name: name, data: cp, version: version})
+		fc.byName[name] = el
+		fc.used += int64(len(cp))
+	}
+	for fc.used > fc.budget {
+		oldest := fc.lru.Back()
+		if oldest == nil {
+			break
+		}
+		fc.removeElement(oldest)
+	}
+}
+
+func (fc *fileCache) invalidate(name string) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if el, ok := fc.byName[name]; ok {
+		fc.removeElement(el)
+	}
+}
+
+func (fc *fileCache) flush() {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.lru.Init()
+	fc.byName = make(map[string]*list.Element)
+	fc.used = 0
+}
+
+// removeElement must be called with fc.mu held.
+func (fc *fileCache) removeElement(el *list.Element) {
+	entry := el.Value.(*cacheEntry)
+	fc.lru.Remove(el)
+	delete(fc.byName, entry.name)
+	fc.used -= int64(len(entry.data))
+}

@@ -1,0 +1,494 @@
+package afs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/backend"
+	"nexus/internal/serial"
+)
+
+// Server is an AFS-like file server. It stores whole files in a
+// backend.Store, tracks per-file version numbers, grants exclusive
+// advisory locks, and issues callback invalidations to clients holding
+// cached copies when a file changes — the essentials of an AFS fileserver
+// from the perspective of a NEXUS client.
+type Server struct {
+	store backend.Store
+
+	mu        sync.Mutex
+	versions  map[string]uint64          // per-file version counters
+	cachedBy  map[string]map[string]bool // file -> clientIDs with cached copies
+	callbacks map[string]*callbackConn   // clientID -> callback channel
+	locks     map[string]*lockState      // file -> lock queue
+	listeners map[net.Listener]bool
+	closed    bool
+
+	// Stats counters, reported by the benchmark harness.
+	fetches atomic.Int64
+	stores  atomic.Int64
+
+	logf func(format string, args ...any)
+}
+
+type callbackConn struct {
+	mu   sync.Mutex // serializes frame writes
+	conn net.Conn
+}
+
+// lockState implements a FIFO exclusive lock. Ownership is handed to the
+// next waiter inside the release critical section, so a lock can never be
+// stolen between a release and the waiter waking up.
+type lockState struct {
+	holder  string // clientID, "" when free
+	waiters []lockWaiter
+}
+
+type lockWaiter struct {
+	ch       chan struct{}
+	clientID string
+}
+
+// NewServer creates a server persisting files to store.
+func NewServer(store backend.Store) *Server {
+	return &Server{
+		store:     store,
+		versions:  make(map[string]uint64),
+		cachedBy:  make(map[string]map[string]bool),
+		callbacks: make(map[string]*callbackConn),
+		locks:     make(map[string]*lockState),
+		listeners: make(map[net.Listener]bool),
+		logf:      func(string, ...any) {},
+	}
+}
+
+// SetLogger directs server diagnostics to the given function (e.g.
+// log.Printf). By default the server is silent.
+func (s *Server) SetLogger(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Stats returns cumulative fetch and store RPC counts.
+func (s *Server) Stats() (fetches, stores int64) {
+	return s.fetches.Load(), s.stores.Load()
+}
+
+// Serve accepts connections on l until the listener fails or the server
+// is closed. It always returns a non-nil error; after Close the error is
+// ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.listeners[l] = true
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("afs: accept: %w", err)
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops all listeners. In-flight connections terminate as their
+// reads fail.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	callbacks := make([]*callbackConn, 0, len(s.callbacks))
+	for _, cb := range s.callbacks {
+		callbacks = append(callbacks, cb)
+	}
+	s.mu.Unlock()
+
+	for _, l := range listeners {
+		if err := l.Close(); err != nil {
+			s.logf("afs: closing listener: %v", err)
+		}
+	}
+	for _, cb := range callbacks {
+		_ = cb.conn.Close()
+	}
+	return nil
+}
+
+// handleConn serves one client connection. The first frame must be a
+// Hello identifying the client and declaring whether this connection is
+// the RPC channel or the callback channel.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+
+	hello, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	if hello.op != opHello {
+		s.logf("afs: first frame op=%d, want hello", hello.op)
+		return
+	}
+	r := serial.NewReader(hello.body)
+	clientID := r.ReadString(128, "client id")
+	isCallback := r.ReadBool("is callback channel")
+	if err := r.Finish(); err != nil || clientID == "" {
+		s.logf("afs: bad hello: %v", err)
+		return
+	}
+
+	if isCallback {
+		s.runCallbackChannel(clientID, conn, hello.reqID)
+		return
+	}
+
+	// Acknowledge the hello so the client knows the session is up.
+	if err := writeFrame(conn, frame{op: opReply, reqID: hello.reqID}); err != nil {
+		return
+	}
+	defer s.clientGone(clientID)
+
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(clientID, req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// runCallbackChannel registers conn as the client's invalidation channel
+// and parks until it drops.
+func (s *Server) runCallbackChannel(clientID string, conn net.Conn, reqID uint64) {
+	cb := &callbackConn{conn: conn}
+	s.mu.Lock()
+	if old := s.callbacks[clientID]; old != nil {
+		_ = old.conn.Close()
+	}
+	s.callbacks[clientID] = cb
+	s.mu.Unlock()
+
+	if err := writeFrame(conn, frame{op: opReply, reqID: reqID}); err != nil {
+		return
+	}
+	// Block until the client goes away; callback channels carry no
+	// client->server traffic.
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	s.mu.Lock()
+	if s.callbacks[clientID] == cb {
+		delete(s.callbacks, clientID)
+	}
+	s.mu.Unlock()
+}
+
+// clientGone releases all state held for a departed client: its locks and
+// its cached-copy registrations.
+func (s *Server) clientGone(clientID string) {
+	s.mu.Lock()
+	var toRelease []*lockState
+	for _, ls := range s.locks {
+		if ls.holder == clientID {
+			toRelease = append(toRelease, ls)
+		}
+	}
+	for _, holders := range s.cachedBy {
+		delete(holders, clientID)
+	}
+	s.mu.Unlock()
+	for _, ls := range toRelease {
+		s.release(ls)
+	}
+}
+
+func (s *Server) dispatch(clientID string, req frame) frame {
+	fail := func(code errCode, msg string) frame {
+		return frame{op: opError, reqID: req.reqID, body: encodeError(code, msg)}
+	}
+	ok := func(body []byte) frame {
+		return frame{op: opReply, reqID: req.reqID, body: body}
+	}
+
+	switch req.op {
+	case opPing:
+		return ok(nil)
+
+	case opFetch:
+		name, err := decodeName(req.body)
+		if err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		s.fetches.Add(1)
+		data, err := s.store.Get(name)
+		if err != nil {
+			// Register a callback promise even for misses, so the client
+			// can cache the negative result (real AFS gets this from its
+			// cached directory contents) and be notified on creation.
+			if errors.Is(err, backend.ErrNotExist) {
+				s.registerCallback(name, clientID)
+			}
+			return s.storeError(req.reqID, name, err)
+		}
+		s.mu.Lock()
+		version := s.versions[name]
+		holders := s.cachedBy[name]
+		if holders == nil {
+			holders = make(map[string]bool)
+			s.cachedBy[name] = holders
+		}
+		holders[clientID] = true // callback promise
+		s.mu.Unlock()
+
+		w := serial.NewWriter(12 + len(data))
+		w.WriteUint64(version)
+		w.WriteBytes(data)
+		return ok(w.Bytes())
+
+	case opStore:
+		r := serial.NewReader(req.body)
+		name := r.ReadString(0, "name")
+		data := r.ReadBytes(maxFrameSize, "data")
+		if err := r.Finish(); err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		s.stores.Add(1)
+		if err := s.store.Put(name, data); err != nil {
+			return s.storeError(req.reqID, name, err)
+		}
+		version := s.bumpAndInvalidate(name, clientID)
+		// The writer's write-through cache now holds a copy: register the
+		// callback promise so later writers invalidate it.
+		s.registerCallback(name, clientID)
+		w := serial.NewWriter(8)
+		w.WriteUint64(version)
+		return ok(w.Bytes())
+
+	case opRemove:
+		name, err := decodeName(req.body)
+		if err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		if err := s.store.Delete(name); err != nil {
+			return s.storeError(req.reqID, name, err)
+		}
+		s.bumpAndInvalidate(name, clientID)
+		return ok(nil)
+
+	case opList:
+		prefix, err := decodeName(req.body)
+		if err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		names, err := s.store.List(prefix)
+		if err != nil {
+			return fail(errCodeInternal, err.Error())
+		}
+		w := serial.NewWriter(16 * len(names))
+		w.WriteUint32(uint32(len(names)))
+		for _, n := range names {
+			w.WriteString(n)
+		}
+		return ok(w.Bytes())
+
+	case opLock:
+		name, err := decodeName(req.body)
+		if err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		s.acquire(name, clientID)
+		return ok(nil)
+
+	case opUnlock:
+		name, err := decodeName(req.body)
+		if err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		s.mu.Lock()
+		ls := s.locks[name]
+		held := ls != nil && ls.holder == clientID
+		s.mu.Unlock()
+		if !held {
+			return fail(errCodeBadRequest, "unlock of a lock not held")
+		}
+		s.release(ls)
+		return ok(nil)
+
+	case opStat:
+		name, err := decodeName(req.body)
+		if err != nil {
+			return fail(errCodeBadRequest, err.Error())
+		}
+		data, err := s.store.Get(name)
+		w := serial.NewWriter(24)
+		if errors.Is(err, backend.ErrNotExist) {
+			w.WriteBool(false)
+			w.WriteUint64(0)
+			w.WriteUint64(0)
+			return ok(w.Bytes())
+		}
+		if err != nil {
+			return s.storeError(req.reqID, name, err)
+		}
+		s.mu.Lock()
+		version := s.versions[name]
+		s.mu.Unlock()
+		w.WriteBool(true)
+		w.WriteUint64(version)
+		w.WriteUint64(uint64(len(data)))
+		return ok(w.Bytes())
+
+	default:
+		return fail(errCodeBadRequest, fmt.Sprintf("unknown op %d", req.op))
+	}
+}
+
+func decodeName(body []byte) (string, error) {
+	r := serial.NewReader(body)
+	name := r.ReadString(0, "name")
+	if err := r.Finish(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func encodeName(name string) []byte {
+	w := serial.NewWriter(4 + len(name))
+	w.WriteString(name)
+	return w.Bytes()
+}
+
+func (s *Server) storeError(reqID uint64, name string, err error) frame {
+	code := errCodeInternal
+	switch {
+	case errors.Is(err, backend.ErrNotExist):
+		code = errCodeNotExist
+	case errors.Is(err, backend.ErrBadName):
+		code = errCodeBadName
+	}
+	return frame{op: opError, reqID: reqID, body: encodeError(code, name)}
+}
+
+// registerCallback records that clientID holds a (possibly negative)
+// cached entry for name.
+func (s *Server) registerCallback(name, clientID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	holders := s.cachedBy[name]
+	if holders == nil {
+		holders = make(map[string]bool)
+		s.cachedBy[name] = holders
+	}
+	holders[clientID] = true
+}
+
+// bumpAndInvalidate increments the file's version and breaks the callback
+// promises of every *other* client caching it. Returns the new version.
+func (s *Server) bumpAndInvalidate(name, writer string) uint64 {
+	s.mu.Lock()
+	s.versions[name]++
+	version := s.versions[name]
+	var notify []*callbackConn
+	if holders := s.cachedBy[name]; holders != nil {
+		for clientID := range holders {
+			if clientID == writer {
+				continue
+			}
+			delete(holders, clientID)
+			if cb := s.callbacks[clientID]; cb != nil {
+				notify = append(notify, cb)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	for _, cb := range notify {
+		cb.mu.Lock()
+		err := writeFrame(cb.conn, frame{op: opInvalidate, body: encodeName(name)})
+		cb.mu.Unlock()
+		if err != nil {
+			s.logf("afs: callback delivery failed: %v", err)
+		}
+	}
+	return version
+}
+
+// acquire blocks until clientID holds the exclusive lock on name.
+func (s *Server) acquire(name, clientID string) {
+	s.mu.Lock()
+	ls := s.locks[name]
+	if ls == nil {
+		ls = &lockState{}
+		s.locks[name] = ls
+	}
+	if ls.holder == "" {
+		ls.holder = clientID
+		s.mu.Unlock()
+		return
+	}
+	wait := lockWaiter{ch: make(chan struct{}), clientID: clientID}
+	ls.waiters = append(ls.waiters, wait)
+	s.mu.Unlock()
+
+	<-wait.ch // ownership was assigned by release before the channel closed
+}
+
+// release hands the lock to the next waiter, or frees it.
+func (s *Server) release(ls *lockState) {
+	s.mu.Lock()
+	if len(ls.waiters) > 0 {
+		next := ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+		ls.holder = next.clientID
+		s.mu.Unlock()
+		close(next.ch)
+		return
+	}
+	ls.holder = ""
+	s.mu.Unlock()
+}
+
+// ListenAndServe is a convenience that listens on addr and serves until
+// failure. It is used by cmd/nexus-afsd.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("afs: listen %s: %w", addr, err)
+	}
+	log.Printf("afs: serving on %s", l.Addr())
+	return s.Serve(l)
+}

@@ -1,0 +1,161 @@
+// Package afs implements an AFS-like distributed file service: a TCP
+// server exporting whole-file fetch/store over a compact binary RPC
+// protocol, and a caching client with open-to-close consistency and
+// server-driven cache invalidation callbacks.
+//
+// The NEXUS prototype stacks on OpenAFS (DSN'19 §V) and inherits its cost
+// model: whole-file transfers, a client cache that makes warm re-reads
+// free, callback promises that invalidate cached copies when another
+// client writes, and advisory flock()-style locks that NEXUS takes around
+// metadata updates (§V-A). This package reproduces exactly those
+// mechanisms so the evaluation's overhead structure carries over; it is
+// not a byte-compatible AFS implementation.
+package afs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"nexus/internal/backend"
+	"nexus/internal/serial"
+)
+
+// Protocol limits.
+const (
+	// maxFrameSize bounds a single RPC frame; large files are still sent
+	// whole (AFS-style), so this must exceed the largest object plus
+	// headers.
+	maxFrameSize = 128 << 20
+)
+
+// Operation codes. Enums start at one so the zero value is invalid.
+type opCode uint8
+
+const (
+	opHello opCode = iota + 1
+	opFetch
+	opStore
+	opRemove
+	opList
+	opLock
+	opUnlock
+	opStat
+	opPing
+
+	// opReply carries a successful response; opError a failed one.
+	opReply opCode = 100
+	opError opCode = 101
+
+	// opInvalidate is pushed server→client on the callback channel when
+	// another client overwrites or removes a file the client has cached.
+	opInvalidate opCode = 120
+)
+
+// Wire error codes, mapped back to sentinel errors client-side.
+type errCode uint8
+
+const (
+	errCodeNotExist errCode = iota + 1
+	errCodeBadName
+	errCodeBadRequest
+	errCodeInternal
+)
+
+// Errors surfaced by the client.
+var (
+	// ErrClosed reports use of a closed client or server.
+	ErrClosed = errors.New("afs: connection closed")
+	// ErrProtocol reports a malformed frame.
+	ErrProtocol = errors.New("afs: protocol violation")
+)
+
+// frame is one length-prefixed protocol message.
+type frame struct {
+	op    opCode
+	reqID uint64
+	body  []byte
+}
+
+// writeFrame sends f over w as: u32 payload length ‖ op(1) ‖ reqID(8) ‖ body.
+func writeFrame(w io.Writer, f frame) error {
+	payload := 1 + 8 + len(f.body)
+	if payload > maxFrameSize {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, payload)
+	}
+	hdr := make([]byte, 4+1+8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload))
+	hdr[4] = byte(f.op)
+	binary.LittleEndian.PutUint64(hdr[5:13], f.reqID)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("afs: writing frame header: %w", err)
+	}
+	if len(f.body) > 0 {
+		if _, err := w.Write(f.body); err != nil {
+			return fmt.Errorf("afs: writing frame body: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame reads the next frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return frame{}, io.EOF
+		}
+		return frame{}, fmt.Errorf("afs: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 9 || n > maxFrameSize {
+		return frame{}, fmt.Errorf("%w: frame length %d", ErrProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, fmt.Errorf("afs: reading frame body: %w", err)
+	}
+	return frame{
+		op:    opCode(payload[0]),
+		reqID: binary.LittleEndian.Uint64(payload[1:9]),
+		body:  payload[9:],
+	}, nil
+}
+
+// encodeError builds an opError body.
+func encodeError(code errCode, msg string) []byte {
+	w := serial.NewWriter(8 + len(msg))
+	w.WriteUint8(uint8(code))
+	w.WriteString(msg)
+	return w.Bytes()
+}
+
+// decodeError converts an opError body back to a Go error.
+func decodeError(body []byte) error {
+	r := serial.NewReader(body)
+	code := errCode(r.ReadUint8("error code"))
+	msg := r.ReadString(0, "error message")
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("%w: bad error frame: %v", ErrProtocol, err)
+	}
+	switch code {
+	case errCodeNotExist:
+		return fmt.Errorf("afs: %s: %w", msg, backend.ErrNotExist)
+	case errCodeBadName:
+		return fmt.Errorf("afs: %s: %w", msg, backend.ErrBadName)
+	case errCodeBadRequest, errCodeInternal:
+		return fmt.Errorf("afs: server error: %s", msg)
+	default:
+		return fmt.Errorf("%w: unknown error code %d (%s)", ErrProtocol, code, msg)
+	}
+}
+
+// closeWrite half-closes c if supported, nudging the peer's read loop.
+func closeWrite(c net.Conn) {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := c.(closeWriter); ok {
+		_ = cw.CloseWrite()
+	}
+}

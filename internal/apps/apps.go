@@ -1,0 +1,208 @@
+// Package apps reimplements the Linux utilities the paper benchmarks
+// (DSN'19 §VII-D, Fig. 6) — tar -x, du, grep, tar -c, cp, and mv —
+// against the fsapi.FileSystem interface, so the identical application
+// logic runs over NEXUS and over the plain baseline.
+//
+// tar uses the standard ustar format via archive/tar; extraction of an
+// archive created here round-trips through real tar semantics.
+package apps
+
+import (
+	"archive/tar"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+
+	"nexus/internal/fsapi"
+)
+
+// walk visits every entry under root depth-first in lexical order.
+func walk(fs fsapi.FileSystem, root string, fn func(p string, e fsapi.DirEntry) error) error {
+	st, err := fs.Stat(root)
+	if err != nil {
+		return err
+	}
+	if err := fn(path.Clean("/"+root), st); err != nil {
+		return err
+	}
+	if !st.IsDir {
+		return nil
+	}
+	entries, err := fs.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, e := range entries {
+		child := path.Join(root, e.Name)
+		if e.IsDir {
+			if err := walk(fs, child, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		childStat, err := fs.Stat(child)
+		if err != nil {
+			return err
+		}
+		if err := fn(path.Clean("/"+child), childStat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TarCreate archives the tree rooted at root into w (tar -c). Paths in
+// the archive are relative to root.
+func TarCreate(fs fsapi.FileSystem, root string, w io.Writer) error {
+	tw := tar.NewWriter(w)
+	cleanRoot := path.Clean("/" + root)
+	err := walk(fs, root, func(p string, e fsapi.DirEntry) error {
+		rel := strings.TrimPrefix(p, cleanRoot)
+		rel = strings.TrimPrefix(rel, "/")
+		if rel == "" {
+			return nil // the root itself
+		}
+		switch {
+		case e.IsDir:
+			return tw.WriteHeader(&tar.Header{
+				Name:     rel + "/",
+				Typeflag: tar.TypeDir,
+				Mode:     0o755,
+			})
+		case e.IsSymlink:
+			return tw.WriteHeader(&tar.Header{
+				Name:     rel,
+				Typeflag: tar.TypeSymlink,
+				Linkname: e.SymlinkTarget,
+				Mode:     0o777,
+			})
+		default:
+			data, err := fs.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			if err := tw.WriteHeader(&tar.Header{
+				Name:     rel,
+				Typeflag: tar.TypeReg,
+				Mode:     0o644,
+				Size:     int64(len(data)),
+			}); err != nil {
+				return err
+			}
+			_, err = tw.Write(data)
+			return err
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("apps: tar create: %w", err)
+	}
+	return tw.Close()
+}
+
+// TarExtract unpacks a tar stream into root (tar -x).
+func TarExtract(fs fsapi.FileSystem, root string, r io.Reader) error {
+	if err := fs.MkdirAll(root); err != nil {
+		return err
+	}
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("apps: tar extract: %w", err)
+		}
+		name := path.Join(root, path.Clean("/"+hdr.Name))
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if err := fs.MkdirAll(name); err != nil {
+				return err
+			}
+		case tar.TypeSymlink:
+			if err := fs.Symlink(hdr.Linkname, name); err != nil {
+				return err
+			}
+		case tar.TypeReg:
+			if err := fs.MkdirAll(path.Dir(name)); err != nil {
+				return err
+			}
+			data, err := io.ReadAll(tr)
+			if err != nil {
+				return err
+			}
+			if err := fs.WriteFile(name, data); err != nil {
+				return err
+			}
+		default:
+			// Hardlinks and special files are not exercised by the
+			// paper's workloads; skip them rather than fail.
+		}
+	}
+}
+
+// Du traverses the tree and sums file sizes (du).
+func Du(fs fsapi.FileSystem, root string) (int64, error) {
+	var total int64
+	err := walk(fs, root, func(p string, e fsapi.DirEntry) error {
+		if !e.IsDir && !e.IsSymlink {
+			total += int64(e.Size)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("apps: du: %w", err)
+	}
+	return total, nil
+}
+
+// Grep recursively searches for term and returns the number of matching
+// lines (grep -r term | wc -l).
+func Grep(fs fsapi.FileSystem, root, term string) (int, error) {
+	needle := []byte(term)
+	matches := 0
+	err := walk(fs, root, func(p string, e fsapi.DirEntry) error {
+		if e.IsDir || e.IsSymlink {
+			return nil
+		}
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			if bytes.Contains(line, needle) {
+				matches++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("apps: grep: %w", err)
+	}
+	return matches, nil
+}
+
+// Cp duplicates a single file (cp src dst).
+func Cp(fs fsapi.FileSystem, src, dst string) error {
+	data, err := fs.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("apps: cp: %w", err)
+	}
+	if err := fs.WriteFile(dst, data); err != nil {
+		return fmt.Errorf("apps: cp: %w", err)
+	}
+	return nil
+}
+
+// Mv renames a file (mv src dst).
+func Mv(fs fsapi.FileSystem, src, dst string) error {
+	if err := fs.Rename(src, dst); err != nil {
+		return fmt.Errorf("apps: mv: %w", err)
+	}
+	return nil
+}

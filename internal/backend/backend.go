@@ -1,0 +1,294 @@
+// Package backend defines the storage API that NEXUS stacks on top of,
+// together with local implementations.
+//
+// NEXUS is explicitly portable across "any platform exposing a file
+// access API" (DSN'19 abstract): every volume object — encrypted data
+// files and encrypted metadata alike — is a self-contained blob stored
+// under its UUID-derived name. The Store interface captures the minimal
+// contract the paper relies on: whole-object get/put/delete, enumeration,
+// and the advisory per-object locks the prototype obtains via flock()
+// (§V-A). The AFS-like network filesystem in internal/afs provides the
+// remote implementation; MemStore and DirStore cover local volumes and
+// tests.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the storage service abstraction beneath a NEXUS volume.
+//
+// Implementations must be safe for concurrent use. Names are flat,
+// non-empty strings without path separators (NEXUS object names are hex
+// UUIDs plus a small set of well-known names).
+type Store interface {
+	// Get returns the object's contents. It returns ErrNotExist if the
+	// object is absent.
+	Get(name string) ([]byte, error)
+	// Put atomically replaces the object's contents, creating it if
+	// needed.
+	Put(name string, data []byte) error
+	// Delete removes the object. Deleting an absent object returns
+	// ErrNotExist.
+	Delete(name string) error
+	// List returns the names of all objects with the given prefix, in
+	// lexical order. An empty prefix lists everything.
+	List(prefix string) ([]string, error)
+	// Lock acquires the object's exclusive advisory lock, blocking until
+	// available, and returns a release function. The lock is advisory:
+	// it orders cooperating NEXUS clients' metadata updates (the
+	// prototype's flock()) and implies nothing about readers.
+	Lock(name string) (release func(), err error)
+}
+
+// Errors returned by stores.
+var (
+	// ErrNotExist reports a missing object.
+	ErrNotExist = errors.New("backend: object does not exist")
+	// ErrBadName reports an invalid object name.
+	ErrBadName = errors.New("backend: invalid object name")
+)
+
+// ValidateName rejects names that are empty or contain path separators;
+// stores share this so a hostile name cannot escape a directory-backed
+// store.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty", ErrBadName)
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store for tests and benchmarks. The zero
+// value is ready to use.
+type MemStore struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	locks   map[string]*sync.Mutex
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		objects: make(map[string][]byte),
+		locks:   make(map[string]*sync.Mutex),
+	}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(name string) ([]byte, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(name string, data []byte) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[name] = cp
+	return nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(name string) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(s.objects, name)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for name := range s.objects {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Lock implements Store.
+func (s *MemStore) Lock(name string) (func(), error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	l, ok := s.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		s.locks[name] = l
+	}
+	s.mu.Unlock()
+	l.Lock()
+	return l.Unlock, nil
+}
+
+// Size returns the number of stored objects.
+func (s *MemStore) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// TotalBytes returns the sum of all object sizes, used by the revocation
+// experiment to report payload volumes.
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, data := range s.objects {
+		n += int64(len(data))
+	}
+	return n
+}
+
+// DirStore stores each object as a file in a local directory, the way the
+// NEXUS prototype uses "a normal AFS directory as the metadata backing
+// store" (§VII). Writes are atomic via rename.
+type DirStore struct {
+	dir string
+
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+}
+
+var _ Store = (*DirStore)(nil)
+
+// NewDirStore creates (if necessary) and opens a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("backend: creating store dir: %w", err)
+	}
+	return &DirStore{dir: dir, locks: make(map[string]*sync.Mutex)}, nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(name string) ([]byte, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("backend: reading %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(name string, data []byte) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("backend: creating temp for %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("backend: writing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("backend: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("backend: committing %s: %w", name, err)
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(name string) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	err := os.Remove(filepath.Join(s.dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return fmt.Errorf("backend: deleting %s: %w", name, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *DirStore) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("backend: listing store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".tmp-") {
+			continue
+		}
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Lock implements Store. Locks are process-local, which matches the
+// advisory flock() coordination of cooperating clients sharing a cache
+// manager.
+func (s *DirStore) Lock(name string) (func(), error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	l, ok := s.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		s.locks[name] = l
+	}
+	s.mu.Unlock()
+	l.Lock()
+	return l.Unlock, nil
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"nexus/internal/apps"
+	"nexus/internal/backend"
+	"nexus/internal/fsapi"
+	"nexus/internal/plainfs"
+	"nexus/internal/workload"
+)
+
+// AppRow is one bar pair of Fig. 6: one utility over one workload.
+type AppRow struct {
+	Workload string
+	App      string
+	OpenAFS  time.Duration
+	Nexus    time.Duration
+	Overhead float64
+}
+
+// LinuxApps reproduces Fig. 6 ("Latency of common Linux applications")
+// over the given flat workloads (paper: LFSD, MFMD, SFLD of Table III),
+// running tar -x, du, grep, tar -c, cp and mv.
+func LinuxApps(env *Env, specs []workload.FlatSpec) ([]AppRow, error) {
+	var rows []AppRow
+	for _, spec := range specs {
+		// Pre-build the tar archive once on a scratch filesystem; both
+		// stacks extract the identical stream.
+		scratch := plainfs.New(backend.NewMemStore())
+		if err := workload.MaterializeFlat(scratch, "/w", spec, env.Config.Scale); err != nil {
+			return nil, fmt.Errorf("building %s: %w", spec.Name, err)
+		}
+		var archive bytes.Buffer
+		if err := apps.TarCreate(scratch, "/w", &archive); err != nil {
+			return nil, fmt.Errorf("archiving %s: %w", spec.Name, err)
+		}
+
+		type appCase struct {
+			name string
+			// fresh reports whether the case needs a fresh tree per run
+			// (tar -x creates it; others reuse a prepared one).
+			run func(fs fsapi.FileSystem, root string) error
+		}
+		prepareTree := func(fs fsapi.FileSystem, root string) error {
+			if ok, err := fs.Exists(root + "/tree"); err != nil {
+				return err
+			} else if !ok {
+				if err := apps.TarExtract(fs, root+"/tree", bytes.NewReader(archive.Bytes())); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		cases := []appCase{
+			{name: "tar-x", run: func(fs fsapi.FileSystem, root string) error {
+				return apps.TarExtract(fs, root+"/x", bytes.NewReader(archive.Bytes()))
+			}},
+			{name: "du", run: func(fs fsapi.FileSystem, root string) error {
+				_, err := apps.Du(fs, root+"/tree")
+				return err
+			}},
+			{name: "grep", run: func(fs fsapi.FileSystem, root string) error {
+				_, err := apps.Grep(fs, root+"/tree", "javascript")
+				return err
+			}},
+			{name: "tar-c", run: func(fs fsapi.FileSystem, root string) error {
+				var out bytes.Buffer
+				return apps.TarCreate(fs, root+"/tree", &out)
+			}},
+			{name: "cp", run: func(fs fsapi.FileSystem, root string) error {
+				return apps.Cp(fs, root+"/tree/file00000", root+"/copy")
+			}},
+			{name: "mv", run: func(fs fsapi.FileSystem, root string) error {
+				if err := apps.Mv(fs, root+"/tree/file00001", root+"/moved"); err != nil {
+					return err
+				}
+				// Move it back so repeated runs find the source.
+				return apps.Mv(fs, root+"/moved", root+"/tree/file00001")
+			}},
+		}
+
+		for _, c := range cases {
+			prepare := prepareTree
+			if c.name == "tar-x" {
+				prepare = func(fs fsapi.FileSystem, root string) error {
+					return fs.RemoveAll(root + "/x")
+				}
+			}
+			plain, nx, err := env.Both(prepare, c.run)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", c.name, spec.Name, err)
+			}
+			rows = append(rows, AppRow{
+				Workload: spec.Name,
+				App:      c.name,
+				OpenAFS:  plain,
+				Nexus:    nx,
+				Overhead: ratio(plain, nx),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintLinuxApps renders Fig. 6 as a table grouped by workload.
+func PrintLinuxApps(w io.Writer, rows []AppRow) {
+	fmt.Fprintln(w, "Fig 6 — Latency of common Linux applications")
+	current := ""
+	for _, r := range rows {
+		if r.Workload != current {
+			current = r.Workload
+			fmt.Fprintf(w, "%s\n", current)
+			fmt.Fprintf(w, "  %-8s %12s %12s %10s\n", "app", "openafs", "nexus", "overhead")
+		}
+		fmt.Fprintf(w, "  %-8s %12s %12s %9.2fx\n",
+			r.App, fmtDur(r.OpenAFS), fmtDur(r.Nexus), r.Overhead)
+	}
+	fmt.Fprintln(w)
+}

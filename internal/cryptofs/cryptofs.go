@@ -1,0 +1,409 @@
+// Package cryptofs is a purely cryptographic protected filesystem in the
+// style of SiRiUS/Plutus — the class of systems NEXUS's revocation
+// experiment compares against (DSN'19 §VII-E, and the Garrison et al.
+// analysis cited in §I).
+//
+// Each file is encrypted under its own file key, and the file key is
+// wrapped individually for every authorized user under a pairwise ECDH
+// secret. Because decryption happens in untrusted client software, a
+// revoked user must be assumed to have cached every file key they could
+// read. Revocation therefore requires, for every affected file:
+//
+//  1. generating a fresh file key,
+//  2. re-encrypting the entire file contents,
+//  3. re-wrapping the new key for every remaining user, and
+//  4. uploading the new ciphertext and key block.
+//
+// The package meters exactly those costs so the benchmark can report
+// them against NEXUS's single-metadata-update revocation.
+package cryptofs
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nexus/internal/backend"
+	"nexus/internal/serial"
+)
+
+// Errors.
+var (
+	// ErrNoAccess reports a user without a wrapped key for the file.
+	ErrNoAccess = errors.New("cryptofs: user has no key for this file")
+	// ErrNotFound reports a missing file.
+	ErrNotFound = errors.New("cryptofs: file not found")
+	// ErrUnknownUser reports an unregistered username.
+	ErrUnknownUser = errors.New("cryptofs: unknown user")
+)
+
+// User is a participant with an ECDH keypair. In a deployed system the
+// private key lives with the user; the test harness holds both halves.
+type User struct {
+	Name string
+	priv *ecdh.PrivateKey
+}
+
+// PublicKey returns the user's ECDH public key bytes.
+func (u *User) PublicKey() []byte { return u.priv.PublicKey().Bytes() }
+
+// NewUser generates a user identity.
+func NewUser(name string) (*User, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptofs: generating user key: %w", err)
+	}
+	return &User{Name: name, priv: priv}, nil
+}
+
+// Stats meters the costs the revocation experiment reports.
+type Stats struct {
+	// BytesReencrypted counts plaintext bytes passed through AES on
+	// re-encryption.
+	BytesReencrypted int64
+	// BytesUploaded counts bytes written to the store.
+	BytesUploaded int64
+	// FilesTouched counts files whose contents were rewritten.
+	FilesTouched int64
+	// KeyWraps counts per-user key wrap operations.
+	KeyWraps int64
+}
+
+// FS is a pure-crypto filesystem over a store.
+type FS struct {
+	store backend.Store
+	owner *User
+
+	mu    sync.Mutex
+	users map[string]*User // all participants, owner included
+	stats Stats
+}
+
+// New creates a filesystem owned by owner.
+func New(store backend.Store, owner *User) *FS {
+	return &FS{
+		store: store,
+		owner: owner,
+		users: map[string]*User{owner.Name: owner},
+	}
+}
+
+// AddUser registers a participant.
+func (fs *FS) AddUser(u *User) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.users[u.Name] = u
+}
+
+// Stats returns a snapshot of the meters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the meters.
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+// object names: file data under "data!<path>", key block under
+// "keys!<path>" (path separators escaped).
+func dataName(p string) string { return "data!" + escape(p) }
+func keysName(p string) string { return "keys!" + escape(p) }
+
+func escape(p string) string {
+	p = strings.TrimPrefix(p, "/")
+	p = strings.ReplaceAll(p, "%", "%25")
+	return strings.ReplaceAll(p, "/", "%2f")
+}
+
+// wrapKey derives the pairwise wrapping secret between the owner and a
+// user, and seals the file key under it.
+func (fs *FS) wrapKey(user *User, fileKey []byte) ([]byte, error) {
+	secret, err := fs.owner.priv.ECDH(user.priv.PublicKey())
+	if err != nil {
+		return nil, fmt.Errorf("cryptofs: deriving wrap secret: %w", err)
+	}
+	kek := sha256.Sum256(secret)
+	block, err := aes.NewCipher(kek[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	fs.stats.KeyWraps++
+	return gcm.Seal(nonce, nonce, fileKey, []byte(user.Name)), nil
+}
+
+func (fs *FS) unwrapKey(user *User, wrapped []byte) ([]byte, error) {
+	secret, err := user.priv.ECDH(fs.owner.priv.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	kek := sha256.Sum256(secret)
+	block, err := aes.NewCipher(kek[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(wrapped) < 12 {
+		return nil, ErrNoAccess
+	}
+	key, err := gcm.Open(nil, wrapped[:12], wrapped[12:], []byte(user.Name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: unwrap failed", ErrNoAccess)
+	}
+	return key, nil
+}
+
+// encryptAndStore encrypts data under a fresh file key, wraps it for the
+// named readers, and uploads both objects. It returns the file key size
+// bookkeeping through fs.stats.
+func (fs *FS) encryptAndStore(p string, data []byte, readers []string) error {
+	fileKey := make([]byte, 32)
+	if _, err := rand.Read(fileKey); err != nil {
+		return err
+	}
+	block, err := aes.NewCipher(fileKey)
+	if err != nil {
+		return err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	ct := gcm.Seal(nonce, nonce, data, nil)
+	fs.stats.BytesReencrypted += int64(len(data))
+
+	// Key block: per-reader wrapped keys.
+	sort.Strings(readers)
+	w := serial.NewWriter(64 * len(readers))
+	w.WriteUint32(uint32(len(readers)))
+	for _, name := range readers {
+		user, ok := fs.users[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownUser, name)
+		}
+		wrapped, err := fs.wrapKey(user, fileKey)
+		if err != nil {
+			return err
+		}
+		w.WriteString(name)
+		w.WriteBytes(wrapped)
+	}
+
+	if err := fs.store.Put(dataName(p), ct); err != nil {
+		return err
+	}
+	if err := fs.store.Put(keysName(p), w.Bytes()); err != nil {
+		return err
+	}
+	fs.stats.BytesUploaded += int64(len(ct) + w.Len())
+	fs.stats.FilesTouched++
+	return nil
+}
+
+// WriteFile encrypts and stores a file readable by the given users (the
+// owner is always included).
+func (fs *FS) WriteFile(p string, data []byte, readers []string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	withOwner := append([]string{fs.owner.Name}, readers...)
+	seen := make(map[string]bool, len(withOwner))
+	var unique []string
+	for _, r := range withOwner {
+		if !seen[r] {
+			seen[r] = true
+			unique = append(unique, r)
+		}
+	}
+	return fs.encryptAndStore(p, data, unique)
+}
+
+// ReadFile decrypts a file as the given user.
+func (fs *FS) ReadFile(p string, user *User) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	keysBlob, err := fs.store.Get(keysName(p))
+	if errors.Is(err, backend.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	readers, wrapped, err := decodeKeyBlock(keysBlob)
+	if err != nil {
+		return nil, err
+	}
+	var fileKey []byte
+	for i, name := range readers {
+		if name == user.Name {
+			fileKey, err = fs.unwrapKey(user, wrapped[i])
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if fileKey == nil {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoAccess, user.Name, p)
+	}
+
+	ct, err := fs.store.Get(dataName(p))
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) < 12 {
+		return nil, fmt.Errorf("cryptofs: truncated ciphertext")
+	}
+	pt, err := gcm.Open(nil, ct[:12], ct[12:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("cryptofs: decryption failed: %w", err)
+	}
+	return pt, nil
+}
+
+func decodeKeyBlock(blob []byte) (readers []string, wrapped [][]byte, err error) {
+	r := serial.NewReader(blob)
+	n := r.ReadCount(0, "reader count")
+	for i := 0; i < n; i++ {
+		readers = append(readers, r.ReadString(0, "reader name"))
+		wrapped = append(wrapped, r.ReadBytes(256, "wrapped key"))
+	}
+	if err := r.Finish(); err != nil {
+		return nil, nil, err
+	}
+	return readers, wrapped, nil
+}
+
+// Readers lists the users who hold a wrapped key for p.
+func (fs *FS) Readers(p string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	keysBlob, err := fs.store.Get(keysName(p))
+	if errors.Is(err, backend.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	readers, _, err := decodeKeyBlock(keysBlob)
+	return readers, err
+}
+
+// Revoke removes a user's access to every file in paths. This is the
+// operation whose cost the experiment measures: each file's contents are
+// re-encrypted under a fresh key and re-uploaded, and keys re-wrapped
+// for all remaining readers — cost proportional to total affected data
+// and sharing degree.
+func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	before := fs.stats
+	for _, p := range paths {
+		keysBlob, err := fs.store.Get(keysName(p))
+		if errors.Is(err, backend.ErrNotExist) {
+			return Stats{}, fmt.Errorf("%w: %s", ErrNotFound, p)
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		readers, _, err := decodeKeyBlock(keysBlob)
+		if err != nil {
+			return Stats{}, err
+		}
+		hadAccess := false
+		remaining := readers[:0]
+		for _, name := range readers {
+			if name == revoked {
+				hadAccess = true
+				continue
+			}
+			remaining = append(remaining, name)
+		}
+		if !hadAccess {
+			continue // nothing cached by the revoked user
+		}
+		// The revoked user may have cached the old file key: full
+		// re-encryption under a fresh key is mandatory.
+		pt, err := fs.ReadFileAsOwnerLocked(p)
+		if err != nil {
+			return Stats{}, err
+		}
+		if err := fs.encryptAndStore(p, pt, remaining); err != nil {
+			return Stats{}, err
+		}
+	}
+	return Stats{
+		BytesReencrypted: fs.stats.BytesReencrypted - before.BytesReencrypted,
+		BytesUploaded:    fs.stats.BytesUploaded - before.BytesUploaded,
+		FilesTouched:     fs.stats.FilesTouched - before.FilesTouched,
+		KeyWraps:         fs.stats.KeyWraps - before.KeyWraps,
+	}, nil
+}
+
+// ReadFileAsOwnerLocked decrypts p with the owner's key; the caller
+// holds fs.mu.
+func (fs *FS) ReadFileAsOwnerLocked(p string) ([]byte, error) {
+	keysBlob, err := fs.store.Get(keysName(p))
+	if err != nil {
+		return nil, err
+	}
+	readers, wrapped, err := decodeKeyBlock(keysBlob)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range readers {
+		if name == fs.owner.Name {
+			fileKey, err := fs.unwrapKey(fs.owner, wrapped[i])
+			if err != nil {
+				return nil, err
+			}
+			ct, err := fs.store.Get(dataName(p))
+			if err != nil {
+				return nil, err
+			}
+			block, err := aes.NewCipher(fileKey)
+			if err != nil {
+				return nil, err
+			}
+			gcm, err := cipher.NewGCM(block)
+			if err != nil {
+				return nil, err
+			}
+			return gcm.Open(nil, ct[:12], ct[12:], nil)
+		}
+	}
+	return nil, fmt.Errorf("%w: owner key missing on %s", ErrNoAccess, p)
+}

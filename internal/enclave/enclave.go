@@ -1,0 +1,528 @@
+// Package enclave implements the trusted portion of NEXUS: the reference
+// monitor that owns the volume rootkey and performs every cryptographic
+// and access-control decision (DSN'19 §IV).
+//
+// The Enclave type runs inside a simulated SGX enclave (internal/sgx).
+// Its public methods are the ecall surface; storage I/O leaves through
+// ObjectStore, the ocall surface implemented by the untrusted layer
+// (internal/vfs). The enclave:
+//
+//   - creates and mounts volumes, with the rootkey generated inside and
+//     persisted only in SGX-sealed form (§IV, §VI-B);
+//   - authenticates users with the nonce/signature challenge–response
+//     over the encrypted supernode (§IV-B);
+//   - implements the 9-call filesystem API of Table I, walking metadata
+//     with parent-UUID validation and per-directory ACL checks (§IV-A,
+//     §IV-C);
+//   - encrypts file contents in fixed-size chunks with fresh keys on
+//     every update (§VI-A);
+//   - shares the rootkey with other users' enclaves via the
+//     attestation-bound ECDH exchange of Fig. 4 (§IV-B1);
+//   - revokes users by re-encrypting only metadata (§VII-E).
+package enclave
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nexus/internal/metadata"
+	"nexus/internal/sgx"
+	"nexus/internal/uuid"
+)
+
+// SupernodeObjectName is the well-known store name of a volume's
+// supernode; all other objects are named by UUID.
+const SupernodeObjectName = "supernode"
+
+// ObjectStore is the ocall surface: the untrusted layer's access to the
+// backing store. Implementations return a version number that increases
+// on every update of an object; the enclave uses it to validate its
+// in-enclave metadata cache (the AFS callback mechanism keeps the
+// untrusted file cache itself fresh).
+type ObjectStore interface {
+	// GetVersioned returns an object's contents and current version.
+	GetVersioned(name string) (data []byte, version uint64, err error)
+	// PutVersioned replaces an object and returns its new version.
+	PutVersioned(name string, data []byte) (version uint64, err error)
+	// Delete removes an object.
+	Delete(name string) error
+	// Lock takes the object's exclusive advisory lock (flock in the
+	// prototype, §V-A).
+	Lock(name string) (release func(), err error)
+}
+
+// Errors returned by the enclave.
+var (
+	// ErrNotAuthenticated reports an operation before a successful auth.
+	ErrNotAuthenticated = errors.New("enclave: no authenticated user")
+	// ErrAccessDenied reports an ACL denial.
+	ErrAccessDenied = errors.New("enclave: access denied")
+	// ErrNotMounted reports filesystem calls before a volume is mounted.
+	ErrNotMounted = errors.New("enclave: no volume mounted")
+	// ErrStaleMetadata reports a rollback: the storage service returned
+	// an object older than one this enclave has already seen (§VI-C).
+	ErrStaleMetadata = errors.New("enclave: stale metadata (rollback detected)")
+	// ErrBadAuth reports a failed challenge-response.
+	ErrBadAuth = errors.New("enclave: authentication failed")
+	// ErrExists, ErrNotFound, ErrNotDir, ErrNotFile, ErrNotEmpty mirror
+	// the usual filesystem failures.
+	ErrExists   = errors.New("enclave: entry already exists")
+	ErrNotFound = errors.New("enclave: no such file or directory")
+	ErrNotDir   = errors.New("enclave: not a directory")
+	ErrNotFile  = errors.New("enclave: not a file")
+	ErrNotEmpty = errors.New("enclave: directory not empty")
+)
+
+// Config parameterizes a NEXUS enclave instance.
+type Config struct {
+	// SGX is the enclave container providing sealing, attestation, EPC
+	// and transition accounting. Required.
+	SGX *sgx.Enclave
+	// Store is the ocall surface to the backing store. Required.
+	Store ObjectStore
+	// IAS is the attestation service used to verify quotes during
+	// rootkey exchanges. Optional; exchanges fail without it.
+	IAS *sgx.AttestationService
+	// BucketSize caps dirnode bucket entries (default 128, §VII).
+	BucketSize uint32
+	// ChunkSize is the file chunk size (default 1 MiB, §VII).
+	ChunkSize uint32
+	// DisableMetadataCache turns off the in-enclave decrypted-metadata
+	// cache (used by the cache ablation benchmark).
+	DisableMetadataCache bool
+	// FreshnessTree enables the volume-wide version table (§VI-C): full
+	// hierarchy rollback detection at the cost of an extra metadata
+	// object read/write per operation. See internal/enclave/freshness.go.
+	FreshnessTree bool
+}
+
+// Stats counts enclave-side work for the evaluation breakdowns.
+type Stats struct {
+	// MetadataLoads counts metadata objects decrypted.
+	MetadataLoads int64
+	// MetadataCacheHits counts loads served from the decrypted cache.
+	MetadataCacheHits int64
+	// MetadataFlushes counts metadata objects sealed and written.
+	MetadataFlushes int64
+	// MetadataBytesWritten totals sealed metadata bytes uploaded.
+	MetadataBytesWritten int64
+	// DataBytesWritten totals encrypted file content bytes uploaded.
+	DataBytesWritten int64
+	// MetadataIOTime is wall time spent in ocalls touching metadata
+	// objects (fetch, store, lock) — the "Metadata I/O" rows of Tables
+	// 5a/5b.
+	MetadataIOTime time.Duration
+	// DataIOTime is wall time spent in ocalls moving encrypted file
+	// contents.
+	DataIOTime time.Duration
+}
+
+// Enclave is a NEXUS enclave instance managing (at most) one mounted
+// volume. All exported methods are safe for concurrent use; the enclave
+// serializes operations the way a single-TCS SGX enclave would.
+type Enclave struct {
+	sgx   *sgx.Enclave
+	store ObjectStore
+	ias   *sgx.AttestationService
+	cfg   Config
+
+	mu sync.Mutex
+
+	// Volume state, populated by CreateVolume/Mount.
+	rootKey      []byte
+	super        *metadata.Supernode
+	superBlob    []byte // current sealed supernode (signed during auth)
+	superVersion uint64
+
+	// Authentication state.
+	pendingNonce []byte
+	pendingUser  ed25519.PublicKey
+	user         metadata.User
+	authed       bool
+
+	// Exchange keypair (Fig 4 "Setup"): generated in-enclave; the
+	// private key never leaves.
+	exchange *exchangeKey
+	// pendingMutual is the ephemeral keypair of an in-flight synchronous
+	// exchange (§VI-B variant); consumed by AcceptMutualGrant.
+	pendingMutual *ecdh.PrivateKey
+
+	cache     *metaCache
+	freshness map[uuid.UUID]uint64
+
+	stats Stats
+}
+
+// New creates an enclave instance from cfg.
+func New(cfg Config) (*Enclave, error) {
+	if cfg.SGX == nil {
+		return nil, fmt.Errorf("enclave: Config.SGX is required")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("enclave: Config.Store is required")
+	}
+	if cfg.BucketSize == 0 {
+		cfg.BucketSize = metadata.DefaultBucketSize
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = metadata.DefaultChunkSize
+	}
+	e := &Enclave{
+		sgx:       cfg.SGX,
+		store:     cfg.Store,
+		ias:       cfg.IAS,
+		cfg:       cfg,
+		freshness: make(map[uuid.UUID]uint64),
+	}
+	if !cfg.DisableMetadataCache {
+		e.cache = newMetaCache(cfg.SGX)
+	}
+	var err error
+	if err = e.sgx.Ecall(func() error {
+		e.exchange, err = newExchangeKey()
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("enclave: generating exchange key: %w", err)
+	}
+	return e, nil
+}
+
+// Stats returns a snapshot of the enclave's counters.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the counters (and the underlying SGX transition
+// stats), used between benchmark phases.
+func (e *Enclave) ResetStats() {
+	e.mu.Lock()
+	e.stats = Stats{}
+	e.mu.Unlock()
+	e.sgx.ResetStats()
+}
+
+// SGX exposes the underlying SGX container (for transition/time stats).
+func (e *Enclave) SGX() *sgx.Enclave { return e.sgx }
+
+// DropCaches discards the in-enclave decrypted metadata cache, forcing
+// subsequent operations to re-fetch and re-verify (the benchmark's
+// cold-cache runs; the paper flushes the AFS cache before each run).
+func (e *Enclave) DropCaches() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache.clear()
+}
+
+// CreateVolume initializes a new volume on the backing store: it
+// generates the rootkey inside the enclave, writes the supernode and
+// empty root dirnode, and returns the SGX-sealed rootkey for local
+// persistence. The caller must still authenticate (Mount flow) before
+// using the volume.
+func (e *Enclave) CreateVolume(ownerName string, ownerKey ed25519.PublicKey) (sealedRootKey []byte, err error) {
+	err = e.sgx.Ecall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.rootKey != nil {
+			return fmt.Errorf("enclave: a volume is already active")
+		}
+		rootKey, err := metadata.NewRootKey()
+		if err != nil {
+			return err
+		}
+		super, err := metadata.NewSupernode(ownerName, ownerKey)
+		if err != nil {
+			return err
+		}
+
+		e.rootKey = rootKey
+		e.super = super
+
+		// Root dirnode: parent pointer binds it to the supernode.
+		root := metadata.NewDirnode(super.RootDir, super.VolumeUUID, e.cfg.BucketSize)
+		if err := e.flushDirnodeLocked(root, 1); err != nil {
+			e.rootKey = nil
+			e.super = nil
+			return fmt.Errorf("writing root dirnode: %w", err)
+		}
+		if err := e.flushSupernodeLocked(); err != nil {
+			e.rootKey = nil
+			e.super = nil
+			return fmt.Errorf("writing supernode: %w", err)
+		}
+
+		sealedRootKey, err = e.sgx.Seal(rootKey, super.VolumeUUID[:])
+		if err != nil {
+			return fmt.Errorf("sealing rootkey: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sealedRootKey, nil
+}
+
+// VolumeUUID returns the active volume's UUID (for sealing AAD and
+// diagnostics).
+func (e *Enclave) VolumeUUID() (uuid.UUID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.super == nil {
+		return uuid.Nil, ErrNotMounted
+	}
+	return e.super.VolumeUUID, nil
+}
+
+// BeginAuth starts the challenge–response protocol of §IV-B: the caller
+// presents their public key and the sealed rootkey; the enclave unseals
+// the rootkey, loads and verifies the supernode, and returns a fresh
+// nonce together with the encrypted supernode blob the user must sign.
+func (e *Enclave) BeginAuth(userKey ed25519.PublicKey, sealedRootKey []byte, volumeID uuid.UUID) (nonce, supernodeBlob []byte, err error) {
+	err = e.sgx.Ecall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if len(userKey) != ed25519.PublicKeySize {
+			return fmt.Errorf("%w: bad public key length", ErrBadAuth)
+		}
+
+		rootKey, err := e.sgx.Unseal(sealedRootKey, volumeID[:])
+		if err != nil {
+			return fmt.Errorf("%w: unsealing rootkey: %v", ErrBadAuth, err)
+		}
+		if len(rootKey) != metadata.RootKeySize {
+			return fmt.Errorf("%w: sealed blob is not a rootkey", ErrBadAuth)
+		}
+		e.rootKey = rootKey
+		if err := e.loadSupernodeLocked(); err != nil {
+			e.rootKey = nil
+			return err
+		}
+
+		e.pendingNonce = make([]byte, 16)
+		if _, err := rand.Read(e.pendingNonce); err != nil {
+			return fmt.Errorf("enclave: generating nonce: %w", err)
+		}
+		e.pendingUser = userKey
+		nonce = append([]byte(nil), e.pendingNonce...)
+		supernodeBlob = append([]byte(nil), e.superBlob...)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return nonce, supernodeBlob, nil
+}
+
+// CompleteAuth finishes the challenge–response: signature must be the
+// user's Ed25519 signature over nonce ‖ encrypted-supernode. On success
+// the user's identity is cached in the enclave and the volume is usable.
+func (e *Enclave) CompleteAuth(signature []byte) error {
+	return e.sgx.Ecall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.pendingNonce == nil || e.pendingUser == nil {
+			return fmt.Errorf("%w: no authentication in progress", ErrBadAuth)
+		}
+		nonce, userKey := e.pendingNonce, e.pendingUser
+		e.pendingNonce, e.pendingUser = nil, nil
+
+		// (ii) the key must appear in the supernode's user table.
+		user, err := e.super.FindUserByKey(userKey)
+		if err != nil {
+			return fmt.Errorf("%w: public key not authorized for this volume", ErrBadAuth)
+		}
+		// (i) the caller must own the key: verify the signature over
+		// nonce ‖ ENC(rootkey, supernode).
+		msg := make([]byte, 0, len(nonce)+len(e.superBlob))
+		msg = append(msg, nonce...)
+		msg = append(msg, e.superBlob...)
+		if !ed25519.Verify(userKey, msg, signature) {
+			return fmt.Errorf("%w: challenge signature invalid", ErrBadAuth)
+		}
+		e.user = user
+		e.authed = true
+		return nil
+	})
+}
+
+// CurrentUser returns the authenticated identity.
+func (e *Enclave) CurrentUser() (metadata.User, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.authed {
+		return metadata.User{}, ErrNotAuthenticated
+	}
+	return e.user, nil
+}
+
+// isOwnerLocked reports whether the authenticated user owns the volume.
+func (e *Enclave) isOwnerLocked() bool {
+	return e.authed && e.user.ID == metadata.OwnerUserID
+}
+
+// requireAuthLocked guards filesystem entry points.
+func (e *Enclave) requireAuthLocked() error {
+	if e.rootKey == nil || e.super == nil {
+		return ErrNotMounted
+	}
+	if !e.authed {
+		return ErrNotAuthenticated
+	}
+	return nil
+}
+
+// --- User administration (owner only, §IV-C) ---
+
+// AddUser grants a new identity access to the volume. Only the owner may
+// administer the user table; the change is one metadata update.
+func (e *Enclave) AddUser(name string, key ed25519.PublicKey) (userID uint32, err error) {
+	err = e.sgx.Ecall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		if !e.isOwnerLocked() {
+			return fmt.Errorf("%w: only the owner administers users", ErrAccessDenied)
+		}
+		return e.withSupernodeLockLocked(func() error {
+			var err error
+			userID, err = e.super.AddUser(name, key)
+			if err != nil {
+				return err
+			}
+			return e.flushSupernodeLocked()
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return userID, nil
+}
+
+// RemoveUser revokes a user's volume access. Because keys never leave
+// the enclave, this is a single metadata re-encryption: no file data is
+// touched (§VII-E).
+func (e *Enclave) RemoveUser(name string) error {
+	return e.sgx.Ecall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		if !e.isOwnerLocked() {
+			return fmt.Errorf("%w: only the owner administers users", ErrAccessDenied)
+		}
+		return e.withSupernodeLockLocked(func() error {
+			if _, err := e.super.RemoveUser(name); err != nil {
+				return err
+			}
+			return e.flushSupernodeLocked()
+		})
+	})
+}
+
+// ListUsers returns the owner plus all authorized users.
+func (e *Enclave) ListUsers() ([]metadata.User, error) {
+	var out []metadata.User
+	err := e.sgx.Ecall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		out = append(out, e.super.Owner)
+		out = append(out, e.super.Users...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// withSupernodeLockLocked runs fn while holding the store lock on the
+// supernode object, reloading it first so the mutation applies to the
+// freshest version (§V-A).
+func (e *Enclave) withSupernodeLockLocked(fn func() error) error {
+	var release func()
+	if err := e.sgx.Ocall(func() error {
+		var err error
+		release, err = e.store.Lock(SupernodeObjectName)
+		return err
+	}); err != nil {
+		return fmt.Errorf("locking supernode: %w", err)
+	}
+	defer release()
+	if err := e.loadSupernodeLocked(); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// loadSupernodeLocked fetches, verifies and decodes the supernode.
+func (e *Enclave) loadSupernodeLocked() error {
+	var blob []byte
+	var version uint64
+	if err := e.sgx.Ocall(func() error {
+		var err error
+		blob, version, err = e.store.GetVersioned(SupernodeObjectName)
+		return err
+	}); err != nil {
+		return fmt.Errorf("fetching supernode: %w", err)
+	}
+	p, body, err := metadata.Open(e.rootKey, blob)
+	if err != nil {
+		return fmt.Errorf("verifying supernode: %w", err)
+	}
+	if p.Type != metadata.TypeSupernode {
+		return fmt.Errorf("%w: object %q is a %s", metadata.ErrMalformed, SupernodeObjectName, p.Type)
+	}
+	if last, ok := e.freshness[p.UUID]; ok && p.Version < last {
+		return fmt.Errorf("%w: supernode version %d < seen %d", ErrStaleMetadata, p.Version, last)
+	}
+	super, err := metadata.DecodeSupernodeBody(body)
+	if err != nil {
+		return err
+	}
+	e.super = super
+	e.superBlob = blob
+	e.superVersion = p.Version
+	e.freshness[p.UUID] = p.Version
+	_ = version
+	return nil
+}
+
+// flushSupernodeLocked seals and uploads the supernode, bumping its
+// version.
+func (e *Enclave) flushSupernodeLocked() error {
+	e.superVersion++
+	p := metadata.Preamble{
+		Type:    metadata.TypeSupernode,
+		UUID:    e.super.VolumeUUID,
+		Parent:  uuid.Nil,
+		Version: e.superVersion,
+	}
+	blob, err := metadata.Seal(e.rootKey, p, e.super.EncodeBody())
+	if err != nil {
+		return fmt.Errorf("sealing supernode: %w", err)
+	}
+	if err := e.sgx.Ocall(func() error {
+		_, err := e.store.PutVersioned(SupernodeObjectName, blob)
+		return err
+	}); err != nil {
+		return fmt.Errorf("uploading supernode: %w", err)
+	}
+	e.superBlob = blob
+	e.freshness[e.super.VolumeUUID] = e.superVersion
+	e.stats.MetadataFlushes++
+	e.stats.MetadataBytesWritten += int64(len(blob))
+	return e.recordFreshnessLocked(map[uuid.UUID]uint64{e.super.VolumeUUID: e.superVersion})
+}

@@ -1,0 +1,136 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+
+	"nexus/internal/sgx"
+)
+
+func TestMutualExchangeEndToEnd(t *testing.T) {
+	s := newExchangeScenario(t)
+
+	// m1': Alice publishes an attested *ephemeral* key.
+	offer, err := s.aliceEnv.enclave.BeginMutualExchange("alice", s.alice.signer())
+	if err != nil {
+		t.Fatalf("BeginMutualExchange: %v", err)
+	}
+	// m2': Owen mutually attests and grants.
+	grant, err := s.owenEnv.enclave.GrantAccessMutual(offer, "alice", s.alice.pub, s.owen.signer())
+	if err != nil {
+		t.Fatalf("GrantAccessMutual: %v", err)
+	}
+	// Extraction, consuming Alice's ephemeral key.
+	sealed, volID, err := s.aliceEnv.enclave.AcceptMutualGrant(grant, s.owen.pub)
+	if err != nil {
+		t.Fatalf("AcceptMutualGrant: %v", err)
+	}
+
+	if err := authenticate(t, s.aliceEnv.enclave, s.alice, sealed, volID); err != nil {
+		t.Fatalf("alice mount: %v", err)
+	}
+	if err := s.owenEnv.enclave.SetACL("/", "alice", mustRights(t, "lr")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.owenEnv.enclave.Touch("/hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.aliceEnv.enclave.ReadFile("/hello"); err != nil {
+		t.Fatalf("alice read after mutual exchange: %v", err)
+	}
+}
+
+func TestMutualExchangeForwardSecrecy(t *testing.T) {
+	s := newExchangeScenario(t)
+	offer, err := s.aliceEnv.enclave.BeginMutualExchange("alice", s.alice.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := s.owenEnv.enclave.GrantAccessMutual(offer, "alice", s.alice.pub, s.owen.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.aliceEnv.enclave.AcceptMutualGrant(grant, s.owen.pub); err != nil {
+		t.Fatal(err)
+	}
+	// The ephemeral key was consumed: a recorded grant is worthless, even
+	// to the very same enclave that owns every long-term key.
+	if _, _, err := s.aliceEnv.enclave.AcceptMutualGrant(grant, s.owen.pub); !errors.Is(err, ErrExchangeInvalid) {
+		t.Fatalf("replayed mutual grant = %v, want ErrExchangeInvalid", err)
+	}
+}
+
+func TestMutualExchangeRequiresPendingKey(t *testing.T) {
+	s := newExchangeScenario(t)
+	offer, err := s.aliceEnv.enclave.BeginMutualExchange("alice", s.alice.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := s.owenEnv.enclave.GrantAccessMutual(offer, "alice", s.alice.pub, s.owen.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different enclave — same code, same IAS, no pending ephemeral —
+	// cannot extract.
+	carolEnv := newTestEnv(t, s.ias, s.store)
+	if _, _, err := carolEnv.enclave.AcceptMutualGrant(grant, s.owen.pub); !errors.Is(err, ErrExchangeInvalid) {
+		t.Fatalf("grant accepted without pending key: %v", err)
+	}
+}
+
+func TestMutualExchangeRejectsUnattestedOwner(t *testing.T) {
+	s := newExchangeScenario(t)
+	offer, err := s.aliceEnv.enclave.BeginMutualExchange("alice", s.alice.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := s.owenEnv.enclave.GrantAccessMutual(offer, "alice", s.alice.pub, s.owen.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the owner quote's measurement: mutual attestation on
+	// the recipient side must reject it (after re-signing, to isolate
+	// the attestation check from the signature check).
+	g, err := DecodeMutualGrant(grant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.OwnerQuote.Measurement[0] ^= 1
+	g.OwnerSig = s.owen.sign(t, g.signedPortion())
+	if _, _, err := s.aliceEnv.enclave.AcceptMutualGrant(g.Encode(), s.owen.pub); !errors.Is(err, ErrExchangeInvalid) {
+		t.Fatalf("tampered owner quote accepted: %v", err)
+	}
+}
+
+func TestMutualGrantRejectsRogueRecipient(t *testing.T) {
+	s := newExchangeScenario(t)
+	// A rogue enclave (different measurement) makes a mutual offer.
+	roguePlatform, err := sgx.NewPlatform(sgx.PlatformConfig{}, s.ias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueContainer, err := roguePlatform.CreateEnclave(sgx.Image{Name: "rogue", Version: 1, Code: []byte("evil")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue, err := New(Config{SGX: rogueContainer, Store: newMemObjectStore(), IAS: s.ias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offer, err := rogue.BeginMutualExchange("alice", s.alice.signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.owenEnv.enclave.GrantAccessMutual(offer, "alice", s.alice.pub, s.owen.signer()); !errors.Is(err, ErrExchangeInvalid) {
+		t.Fatalf("rogue mutual offer accepted: %v", err)
+	}
+}
+
+func TestMutualGrantCodecRobustness(t *testing.T) {
+	if _, err := DecodeMutualGrant(nil); !errors.Is(err, ErrExchangeInvalid) {
+		t.Fatalf("DecodeMutualGrant(nil) = %v", err)
+	}
+	if _, err := DecodeMutualGrant([]byte("garbage")); !errors.Is(err, ErrExchangeInvalid) {
+		t.Fatalf("DecodeMutualGrant(garbage) = %v", err)
+	}
+}

@@ -1,0 +1,935 @@
+package enclave
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nexus/internal/acl"
+	"nexus/internal/backend"
+	"nexus/internal/metadata"
+	"nexus/internal/uuid"
+)
+
+// Stat describes a directory entry, returned by Lookup.
+type Stat struct {
+	Name string
+	Kind metadata.EntryKind
+	// Size is the plaintext size for files; zero otherwise.
+	Size uint64
+	// Links is the hardlink count for files.
+	Links uint32
+	// SymlinkTarget is set for symlinks.
+	SymlinkTarget string
+}
+
+// splitPath normalizes a volume-relative path into its directory
+// components and final name. The root is addressed as "/" or "".
+func splitPath(path string) (dirs []string, base string, err error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, "", nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, "", fmt.Errorf("enclave: invalid path component %q", p)
+		}
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1], nil
+}
+
+// retryTornEcall runs an operation, retrying briefly when it observes a
+// bucket MAC mismatch. Writers flush a dirnode's buckets and then its
+// main object as separate store writes, and the storage layer's
+// invalidations propagate per object, so an unlocked reader can
+// transiently see a fresh bucket against a stale main object. The
+// mutation paths take the store lock before changing anything, so such
+// an error always precedes any side effect and the whole operation is
+// safe to retry. A *persistent* mismatch is the real signal — a rolled
+// back or substituted bucket (§V-B) — and is surfaced after the bounded
+// retries.
+func (e *Enclave) retryTornEcall(fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = e.sgx.Ecall(fn)
+		if err == nil || attempt >= 3 || !errors.Is(err, metadata.ErrBucketMACMismatch) {
+			return err
+		}
+		// Give the lagging invalidation a moment to land.
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+	}
+}
+
+// walkResult carries a resolved directory and its current metadata
+// version (used for version bumps on flush).
+type walkResult struct {
+	dir     *metadata.Dirnode
+	version uint64
+}
+
+// walkDirLocked resolves a directory path from the volume root, applying
+// the Lookup right and parent-UUID validation at each step (§IV-A3).
+func (e *Enclave) walkDirLocked(dirs []string) (walkResult, error) {
+	cur, version, err := e.loadDirnode(e.super.RootDir, e.super.VolumeUUID)
+	if err != nil {
+		return walkResult{}, fmt.Errorf("loading root directory: %w", err)
+	}
+	for i, name := range dirs {
+		if err := e.checkACLLocked(cur, acl.Lookup); err != nil {
+			return walkResult{}, fmt.Errorf("traversing %q: %w", strings.Join(dirs[:i+1], "/"), err)
+		}
+		entry, err := cur.Lookup(name, e.bucketLoaderFor(cur))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return walkResult{}, fmt.Errorf("%w: %s", ErrNotFound, strings.Join(dirs[:i+1], "/"))
+			}
+			return walkResult{}, err
+		}
+		if entry.Kind != metadata.KindDir {
+			return walkResult{}, fmt.Errorf("%w: %s", ErrNotDir, strings.Join(dirs[:i+1], "/"))
+		}
+		next, v, err := e.loadDirnode(entry.UUID, cur.UUID)
+		if err != nil {
+			return walkResult{}, err
+		}
+		cur, version = next, v
+	}
+	return walkResult{dir: cur, version: version}, nil
+}
+
+// checkACLLocked enforces the directory's ACL for the authenticated user
+// (default deny, owner override; §IV-C).
+func (e *Enclave) checkACLLocked(d *metadata.Dirnode, want acl.Rights) error {
+	decision, ok := d.ACL.Check(e.user.ID, e.isOwnerLocked(), want)
+	if !ok {
+		return fmt.Errorf("%w: user %q needs %s on directory, has %s",
+			ErrAccessDenied, e.user.Name, decision.Want, decision.Have)
+	}
+	return nil
+}
+
+// reloadDirUnderLockLocked re-resolves a directory after its store lock
+// has been taken, so the mutation applies to the freshest version.
+func (e *Enclave) reloadDirUnderLockLocked(dirs []string) (walkResult, error) {
+	return e.walkDirLocked(dirs)
+}
+
+// createEntry is the shared implementation of Touch, Mkdir and Symlink.
+func (e *Enclave) createEntry(path string, kind metadata.EntryKind, symlinkTarget string) error {
+	return e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, name, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return fmt.Errorf("%w: cannot create the volume root", ErrExists)
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Insert); err != nil {
+			return err
+		}
+
+		release, err := e.lockObject(objName(w.dir.UUID))
+		if err != nil {
+			return fmt.Errorf("locking directory: %w", err)
+		}
+		defer release()
+		w, err = e.reloadDirUnderLockLocked(dirs)
+		if err != nil {
+			return err
+		}
+
+		entry := metadata.DirEntry{
+			Name:          name,
+			UUID:          uuid.New(),
+			Kind:          kind,
+			SymlinkTarget: symlinkTarget,
+		}
+
+		// Create the child's metadata object first so the directory never
+		// references a missing object.
+		switch kind {
+		case metadata.KindFile:
+			f := metadata.NewFilenode(entry.UUID, w.dir.UUID, e.cfg.ChunkSize)
+			if err := e.flushFilenodeLocked(f, 1); err != nil {
+				return err
+			}
+		case metadata.KindDir:
+			d := metadata.NewDirnode(entry.UUID, w.dir.UUID, e.cfg.BucketSize)
+			if err := e.flushDirnodeLocked(d, 1); err != nil {
+				return err
+			}
+		case metadata.KindSymlink:
+			// Symlinks live entirely in the dirnode entry.
+		}
+
+		if err := w.dir.Insert(entry, e.bucketLoaderFor(w.dir)); err != nil {
+			if errors.Is(err, metadata.ErrEntryExists) {
+				return fmt.Errorf("%w: %s", ErrExists, path)
+			}
+			return err
+		}
+		if err := e.flushDirnodeLocked(w.dir, w.version+1); err != nil {
+			e.cache.invalidate(w.dir.UUID)
+			return err
+		}
+		return nil
+	})
+}
+
+// Touch creates an empty file (nexus_fs_touch for files).
+func (e *Enclave) Touch(path string) error {
+	return e.createEntry(path, metadata.KindFile, "")
+}
+
+// Mkdir creates a directory (nexus_fs_touch for directories).
+func (e *Enclave) Mkdir(path string) error {
+	return e.createEntry(path, metadata.KindDir, "")
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target
+// (nexus_fs_symlink). The target is stored, encrypted, in the dirnode
+// and is not resolved or validated.
+func (e *Enclave) Symlink(target, linkPath string) error {
+	if target == "" {
+		return fmt.Errorf("enclave: empty symlink target")
+	}
+	return e.createEntry(linkPath, metadata.KindSymlink, target)
+}
+
+// Remove deletes a file, symlink, or empty directory (nexus_fs_remove).
+func (e *Enclave) Remove(path string) error {
+	return e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, name, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return fmt.Errorf("enclave: cannot remove the volume root")
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Delete); err != nil {
+			return err
+		}
+
+		release, err := e.lockObject(objName(w.dir.UUID))
+		if err != nil {
+			return fmt.Errorf("locking directory: %w", err)
+		}
+		defer release()
+		w, err = e.reloadDirUnderLockLocked(dirs)
+		if err != nil {
+			return err
+		}
+
+		entry, err := w.dir.Lookup(name, e.bucketLoaderFor(w.dir))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return fmt.Errorf("%w: %s", ErrNotFound, path)
+			}
+			return err
+		}
+
+		switch entry.Kind {
+		case metadata.KindDir:
+			child, _, err := e.loadDirnode(entry.UUID, w.dir.UUID)
+			if err != nil {
+				return err
+			}
+			if child.EntryCount() != 0 {
+				return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+			}
+			removed := map[uuid.UUID]uint64{entry.UUID: 0}
+			for _, ref := range child.Refs {
+				if err := e.deleteObject(objName(ref.UUID)); err != nil {
+					return fmt.Errorf("deleting bucket: %w", err)
+				}
+				removed[ref.UUID] = 0
+			}
+			for _, old := range child.Retired {
+				if err := e.deleteObject(objName(old)); err != nil && !isNotExist(err) {
+					return fmt.Errorf("deleting retired bucket: %w", err)
+				}
+				removed[old] = 0
+			}
+			if err := e.deleteObject(objName(entry.UUID)); err != nil {
+				return fmt.Errorf("deleting dirnode: %w", err)
+			}
+			e.cache.invalidate(entry.UUID)
+			if err := e.recordFreshnessLocked(removed); err != nil {
+				return err
+			}
+
+		case metadata.KindFile:
+			// Lock the filenode: its link count races with concurrent
+			// WriteFile/Hardlink from other clients otherwise.
+			fRelease, err := e.lockObject(objName(entry.UUID))
+			if err != nil {
+				return fmt.Errorf("locking filenode: %w", err)
+			}
+			defer fRelease()
+			f, fv, err := e.loadFilenode(entry.UUID, w.dir.UUID)
+			if err != nil {
+				return err
+			}
+			if f.LinkCount > 1 {
+				f.LinkCount--
+				// The remaining links' directories are unknown; drop the
+				// parent binding (nil = hardlink history, checked no
+				// further — the dirnode entry UUID still binds structure).
+				f.Parent = uuid.Nil
+				if err := e.flushFilenodeLocked(f, fv+1); err != nil {
+					return err
+				}
+			} else {
+				if f.Size > 0 {
+					if err := e.deleteObject(objName(f.DataUUID)); err != nil && !isNotExist(err) {
+						return fmt.Errorf("deleting data object: %w", err)
+					}
+				}
+				if err := e.deleteObject(objName(entry.UUID)); err != nil {
+					return fmt.Errorf("deleting filenode: %w", err)
+				}
+				e.cache.invalidate(entry.UUID)
+				if err := e.recordFreshnessLocked(map[uuid.UUID]uint64{entry.UUID: 0}); err != nil {
+					return err
+				}
+			}
+
+		case metadata.KindSymlink:
+			// Entry-only; nothing else to delete.
+		}
+
+		if _, err := w.dir.Remove(name, e.bucketLoaderFor(w.dir)); err != nil {
+			return err
+		}
+		if err := e.flushDirnodeLocked(w.dir, w.version+1); err != nil {
+			e.cache.invalidate(w.dir.UUID)
+			return err
+		}
+		return nil
+	})
+}
+
+// isNotExist reports whether err is any flavour of missing-object error
+// crossing the ocall boundary.
+func isNotExist(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, backend.ErrNotExist) {
+		return true
+	}
+	return strings.Contains(err.Error(), "does not exist")
+}
+
+// Lookup finds an entry by path and returns its attributes
+// (nexus_fs_lookup).
+func (e *Enclave) Lookup(path string) (Stat, error) {
+	var st Stat
+	err := e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, name, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			st = Stat{Name: "/", Kind: metadata.KindDir}
+			_, err := e.walkDirLocked(nil)
+			return err
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Lookup); err != nil {
+			return err
+		}
+		entry, err := w.dir.Lookup(name, e.bucketLoaderFor(w.dir))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return fmt.Errorf("%w: %s", ErrNotFound, path)
+			}
+			return err
+		}
+		st = Stat{Name: entry.Name, Kind: entry.Kind, SymlinkTarget: entry.SymlinkTarget}
+		if entry.Kind == metadata.KindFile {
+			f, _, err := e.loadFilenode(entry.UUID, w.dir.UUID)
+			if err != nil {
+				return err
+			}
+			st.Size = f.Size
+			st.Links = f.LinkCount
+		}
+		return nil
+	})
+	if err != nil {
+		return Stat{}, err
+	}
+	return st, nil
+}
+
+// Filldir lists a directory's entries sorted by name (nexus_fs_filldir).
+func (e *Enclave) Filldir(path string) ([]Stat, error) {
+	var out []Stat
+	err := e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, name, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if name != "" {
+			dirs = append(dirs, name)
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Lookup); err != nil {
+			return err
+		}
+		entries, err := w.dir.List(e.bucketLoaderFor(w.dir))
+		if err != nil {
+			return err
+		}
+		out = make([]Stat, 0, len(entries))
+		for _, entry := range entries {
+			out = append(out, Stat{
+				Name:          entry.Name,
+				Kind:          entry.Kind,
+				SymlinkTarget: entry.SymlinkTarget,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Hardlink creates newPath as an additional name for the existing file
+// (nexus_fs_hardlink). Directories cannot be hardlinked.
+func (e *Enclave) Hardlink(existingPath, newPath string) error {
+	return e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		srcDirs, srcName, err := splitPath(existingPath)
+		if err != nil {
+			return err
+		}
+		dstDirs, dstName, err := splitPath(newPath)
+		if err != nil {
+			return err
+		}
+		if srcName == "" || dstName == "" {
+			return fmt.Errorf("%w: hardlink involving the volume root", ErrNotFile)
+		}
+
+		srcW, err := e.walkDirLocked(srcDirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(srcW.dir, acl.Lookup); err != nil {
+			return err
+		}
+		dstW, err := e.walkDirLocked(dstDirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(dstW.dir, acl.Insert); err != nil {
+			return err
+		}
+
+		releases, err := e.lockDirsLocked(srcW.dir.UUID, dstW.dir.UUID)
+		if err != nil {
+			return err
+		}
+		defer releases()
+		srcW, err = e.reloadDirUnderLockLocked(srcDirs)
+		if err != nil {
+			return err
+		}
+		dstW, err = e.reloadDirUnderLockLocked(dstDirs)
+		if err != nil {
+			return err
+		}
+
+		entry, err := srcW.dir.Lookup(srcName, e.bucketLoaderFor(srcW.dir))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return fmt.Errorf("%w: %s", ErrNotFound, existingPath)
+			}
+			return err
+		}
+		if entry.Kind != metadata.KindFile {
+			return fmt.Errorf("%w: %s", ErrNotFile, existingPath)
+		}
+
+		fRelease, err := e.lockObject(objName(entry.UUID))
+		if err != nil {
+			return fmt.Errorf("locking filenode: %w", err)
+		}
+		f, fv, err := e.loadFilenode(entry.UUID, srcW.dir.UUID)
+		if err != nil {
+			fRelease()
+			return err
+		}
+		f.LinkCount++
+		if err := e.flushFilenodeLocked(f, fv+1); err != nil {
+			fRelease()
+			return err
+		}
+		fRelease()
+
+		newEntry := metadata.DirEntry{Name: dstName, UUID: entry.UUID, Kind: metadata.KindFile}
+		if err := dstW.dir.Insert(newEntry, e.bucketLoaderFor(dstW.dir)); err != nil {
+			if errors.Is(err, metadata.ErrEntryExists) {
+				return fmt.Errorf("%w: %s", ErrExists, newPath)
+			}
+			return err
+		}
+		if err := e.flushDirnodeLocked(dstW.dir, dstW.version+1); err != nil {
+			e.cache.invalidate(dstW.dir.UUID)
+			return err
+		}
+		return nil
+	})
+}
+
+// Rename moves a file, symlink, or directory to a new path
+// (nexus_fs_rename). An existing file or symlink at the destination is
+// replaced; an existing directory is an error.
+func (e *Enclave) Rename(oldPath, newPath string) error {
+	return e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		srcDirs, srcName, err := splitPath(oldPath)
+		if err != nil {
+			return err
+		}
+		dstDirs, dstName, err := splitPath(newPath)
+		if err != nil {
+			return err
+		}
+		if srcName == "" || dstName == "" {
+			return fmt.Errorf("enclave: cannot rename the volume root")
+		}
+
+		srcW, err := e.walkDirLocked(srcDirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(srcW.dir, acl.Delete); err != nil {
+			return err
+		}
+		dstW, err := e.walkDirLocked(dstDirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(dstW.dir, acl.Insert); err != nil {
+			return err
+		}
+
+		releases, err := e.lockDirsLocked(srcW.dir.UUID, dstW.dir.UUID)
+		if err != nil {
+			return err
+		}
+		defer releases()
+		srcW, err = e.reloadDirUnderLockLocked(srcDirs)
+		if err != nil {
+			return err
+		}
+		sameDir := srcW.dir.UUID == dstW.dir.UUID
+		if sameDir {
+			dstW = srcW
+		} else {
+			dstW, err = e.reloadDirUnderLockLocked(dstDirs)
+			if err != nil {
+				return err
+			}
+		}
+
+		entry, err := srcW.dir.Lookup(srcName, e.bucketLoaderFor(srcW.dir))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
+			}
+			return err
+		}
+
+		// Replace semantics at the destination.
+		if existing, err := dstW.dir.Lookup(dstName, e.bucketLoaderFor(dstW.dir)); err == nil {
+			if existing.UUID == entry.UUID && sameDir && srcName == dstName {
+				return nil // rename onto itself
+			}
+			switch existing.Kind {
+			case metadata.KindDir:
+				return fmt.Errorf("%w: destination %s is a directory", ErrExists, newPath)
+			case metadata.KindFile:
+				if err := e.removeFileEntryLocked(dstW.dir, existing); err != nil {
+					return err
+				}
+			case metadata.KindSymlink:
+			}
+			if _, err := dstW.dir.Remove(dstName, e.bucketLoaderFor(dstW.dir)); err != nil {
+				return err
+			}
+		} else if !errors.Is(err, metadata.ErrEntryNotFound) {
+			return err
+		}
+
+		if _, err := srcW.dir.Remove(srcName, e.bucketLoaderFor(srcW.dir)); err != nil {
+			return err
+		}
+		moved := entry
+		moved.Name = dstName
+		if err := dstW.dir.Insert(moved, e.bucketLoaderFor(dstW.dir)); err != nil {
+			return err
+		}
+
+		// Moving across directories re-parents the child's metadata so
+		// the file-swap defence keeps holding (§IV-A3).
+		if !sameDir {
+			switch entry.Kind {
+			case metadata.KindDir:
+				child, cv, err := e.loadDirnode(entry.UUID, srcW.dir.UUID)
+				if err != nil {
+					return err
+				}
+				child.Parent = dstW.dir.UUID
+				if err := e.flushDirnodeLocked(child, cv+1); err != nil {
+					e.cache.invalidate(child.UUID)
+					return err
+				}
+			case metadata.KindFile:
+				f, fv, err := e.loadFilenode(entry.UUID, srcW.dir.UUID)
+				if err != nil {
+					return err
+				}
+				// Multi-link files already carry no parent binding.
+				if f.LinkCount <= 1 && !f.Parent.IsNil() {
+					f.Parent = dstW.dir.UUID
+					if err := e.flushFilenodeLocked(f, fv+1); err != nil {
+						e.cache.invalidate(f.UUID)
+						return err
+					}
+				}
+			case metadata.KindSymlink:
+			}
+		}
+
+		if err := e.flushDirnodeLocked(srcW.dir, srcW.version+1); err != nil {
+			e.cache.invalidate(srcW.dir.UUID)
+			return err
+		}
+		if !sameDir {
+			if err := e.flushDirnodeLocked(dstW.dir, dstW.version+1); err != nil {
+				e.cache.invalidate(dstW.dir.UUID)
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// removeFileEntryLocked drops a file's storage when its entry is being
+// replaced (helper for Rename's overwrite case).
+func (e *Enclave) removeFileEntryLocked(dir *metadata.Dirnode, entry metadata.DirEntry) error {
+	release, err := e.lockObject(objName(entry.UUID))
+	if err != nil {
+		return fmt.Errorf("locking filenode: %w", err)
+	}
+	defer release()
+	f, fv, err := e.loadFilenode(entry.UUID, dir.UUID)
+	if err != nil {
+		return err
+	}
+	if f.LinkCount > 1 {
+		f.LinkCount--
+		f.Parent = uuid.Nil
+		return e.flushFilenodeLocked(f, fv+1)
+	}
+	if f.Size > 0 {
+		if err := e.deleteObject(objName(f.DataUUID)); err != nil && !isNotExist(err) {
+			return err
+		}
+	}
+	if err := e.deleteObject(objName(entry.UUID)); err != nil {
+		return err
+	}
+	e.cache.invalidate(entry.UUID)
+	return nil
+}
+
+// lockDirsLocked takes the store locks of one or two directories in a
+// canonical order, avoiding lock cycles between concurrent renames.
+func (e *Enclave) lockDirsLocked(a, b uuid.UUID) (func(), error) {
+	names := []string{objName(a)}
+	if b != a {
+		names = append(names, objName(b))
+		sort.Strings(names)
+	}
+	var releases []func()
+	for _, n := range names {
+		rel, err := e.lockObject(n)
+		if err != nil {
+			for i := len(releases) - 1; i >= 0; i-- {
+				releases[i]()
+			}
+			return nil, fmt.Errorf("locking directory: %w", err)
+		}
+		releases = append(releases, rel)
+	}
+	return func() {
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}, nil
+}
+
+// WriteFile replaces a file's contents (nexus_fs_encrypt): every chunk
+// is re-encrypted with fresh keys, the ciphertext is uploaded, and the
+// filenode is re-sealed.
+func (e *Enclave) WriteFile(path string, data []byte) error {
+	return e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, name, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return fmt.Errorf("%w: %s", ErrNotFile, path)
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Write); err != nil {
+			return err
+		}
+		entry, err := w.dir.Lookup(name, e.bucketLoaderFor(w.dir))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return fmt.Errorf("%w: %s", ErrNotFound, path)
+			}
+			return err
+		}
+		if entry.Kind != metadata.KindFile {
+			return fmt.Errorf("%w: %s", ErrNotFile, path)
+		}
+
+		release, err := e.lockObject(objName(entry.UUID))
+		if err != nil {
+			return fmt.Errorf("locking filenode: %w", err)
+		}
+		defer release()
+
+		f, fv, err := e.loadFilenode(entry.UUID, w.dir.UUID)
+		if err != nil {
+			return err
+		}
+		blob, err := f.EncryptContent(data)
+		if err != nil {
+			return err
+		}
+		if _, err := e.putDataObject(objName(f.DataUUID), blob); err != nil {
+			e.cache.invalidate(f.UUID)
+			return fmt.Errorf("uploading data object: %w", err)
+		}
+		e.stats.DataBytesWritten += int64(len(blob))
+		if err := e.flushFilenodeLocked(f, fv+1); err != nil {
+			e.cache.invalidate(f.UUID)
+			return err
+		}
+		return nil
+	})
+}
+
+// ReadFile returns a file's decrypted contents (nexus_fs_decrypt) after
+// the Read ACL check.
+func (e *Enclave) ReadFile(path string) ([]byte, error) {
+	var out []byte
+	err := e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, name, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return fmt.Errorf("%w: %s", ErrNotFile, path)
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Read); err != nil {
+			return err
+		}
+		entry, err := w.dir.Lookup(name, e.bucketLoaderFor(w.dir))
+		if err != nil {
+			if errors.Is(err, metadata.ErrEntryNotFound) {
+				return fmt.Errorf("%w: %s", ErrNotFound, path)
+			}
+			return err
+		}
+		if entry.Kind != metadata.KindFile {
+			return fmt.Errorf("%w: %s", ErrNotFile, path)
+		}
+		f, _, err := e.loadFilenode(entry.UUID, w.dir.UUID)
+		if err != nil {
+			return err
+		}
+		if f.Size == 0 {
+			out = []byte{}
+			return nil
+		}
+		blob, _, err := e.fetchDataObject(objName(f.DataUUID))
+		if err != nil {
+			return fmt.Errorf("fetching data object: %w", err)
+		}
+		out, err = f.DecryptContent(blob)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetACL grants (or with acl.None revokes) a user's rights on a
+// directory. Only the owner or a user holding Administer on the
+// directory may change its ACL; the update re-encrypts one metadata
+// object, which is the paper's entire revocation cost (§VII-E).
+func (e *Enclave) SetACL(dirPath, userName string, rights acl.Rights) error {
+	return e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, base, err := splitPath(dirPath)
+		if err != nil {
+			return err
+		}
+		if base != "" {
+			dirs = append(dirs, base)
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if !e.isOwnerLocked() {
+			if err := e.checkACLLocked(w.dir, acl.Administer); err != nil {
+				return err
+			}
+		}
+		target, err := e.super.FindUserByName(userName)
+		if err != nil {
+			return err
+		}
+
+		release, err := e.lockObject(objName(w.dir.UUID))
+		if err != nil {
+			return fmt.Errorf("locking directory: %w", err)
+		}
+		defer release()
+		w, err = e.reloadDirUnderLockLocked(dirs)
+		if err != nil {
+			return err
+		}
+		w.dir.ACL.Set(target.ID, rights)
+		if err := e.flushDirnodeLocked(w.dir, w.version+1); err != nil {
+			e.cache.invalidate(w.dir.UUID)
+			return err
+		}
+		return nil
+	})
+}
+
+// GetACL returns a directory's ACL entries resolved to usernames.
+func (e *Enclave) GetACL(dirPath string) (map[string]acl.Rights, error) {
+	out := make(map[string]acl.Rights)
+	err := e.retryTornEcall(func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		dirs, base, err := splitPath(dirPath)
+		if err != nil {
+			return err
+		}
+		if base != "" {
+			dirs = append(dirs, base)
+		}
+		w, err := e.walkDirLocked(dirs)
+		if err != nil {
+			return err
+		}
+		if err := e.checkACLLocked(w.dir, acl.Lookup); err != nil {
+			return err
+		}
+		for _, entry := range w.dir.ACL.Entries() {
+			name := fmt.Sprintf("uid:%d", entry.UserID)
+			if entry.UserID == metadata.OwnerUserID {
+				name = e.super.Owner.Name
+			} else {
+				for _, u := range e.super.Users {
+					if u.ID == entry.UserID {
+						name = u.Name
+						break
+					}
+				}
+			}
+			out[name] = entry.Rights
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

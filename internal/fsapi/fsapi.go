@@ -1,0 +1,122 @@
+// Package fsapi defines the filesystem interface that every consumer in
+// this repository — database engines, workload generators, Linux-utility
+// reimplementations, and the benchmark harness — programs against.
+//
+// Two implementations exist:
+//
+//   - the NEXUS filesystem (internal/vfs adapted by Nexus), where every
+//     operation passes through the enclave; and
+//   - the plain baseline (internal/plainfs), modelling an unmodified
+//     OpenAFS client where each file is one store object and operations
+//     cost one RPC.
+//
+// The paper's evaluation (§VII) is precisely a comparison of these two
+// stacks under identical workloads.
+package fsapi
+
+import (
+	"io"
+
+	"nexus/internal/vfs"
+)
+
+// Open flags, shared across implementations.
+const (
+	O_RDONLY = vfs.O_RDONLY
+	O_RDWR   = vfs.O_RDWR
+	O_CREATE = vfs.O_CREATE
+	O_TRUNC  = vfs.O_TRUNC
+	O_APPEND = vfs.O_APPEND
+)
+
+// DirEntry is a directory listing entry.
+type DirEntry struct {
+	Name          string
+	IsDir         bool
+	IsSymlink     bool
+	SymlinkTarget string
+	Size          uint64
+}
+
+// File is an open file handle with AFS open-to-close semantics: all I/O
+// is local between Open and Close; Sync/Close flush to the store.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.ReaderAt
+	io.Closer
+	// Sync flushes dirty contents without closing.
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+	// Size returns the current length.
+	Size() int64
+}
+
+// FileSystem is the operation set exercised by the paper's workloads.
+type FileSystem interface {
+	Mkdir(path string) error
+	MkdirAll(path string) error
+	Touch(path string) error
+	WriteFile(path string, data []byte) error
+	ReadFile(path string) ([]byte, error)
+	Remove(path string) error
+	RemoveAll(path string) error
+	Rename(oldPath, newPath string) error
+	Symlink(target, linkPath string) error
+	Stat(path string) (DirEntry, error)
+	Exists(path string) (bool, error)
+	ReadDir(path string) ([]DirEntry, error)
+	Open(path string, flags int) (File, error)
+}
+
+// nexusFS adapts *vfs.FS to FileSystem.
+type nexusFS struct {
+	fs *vfs.FS
+}
+
+var _ FileSystem = (*nexusFS)(nil)
+
+// Nexus wraps a mounted NEXUS filesystem.
+func Nexus(fs *vfs.FS) FileSystem { return &nexusFS{fs: fs} }
+
+func (n *nexusFS) Mkdir(p string) error                  { return n.fs.Mkdir(p) }
+func (n *nexusFS) MkdirAll(p string) error               { return n.fs.MkdirAll(p) }
+func (n *nexusFS) Touch(p string) error                  { return n.fs.Touch(p) }
+func (n *nexusFS) WriteFile(p string, data []byte) error { return n.fs.WriteFile(p, data) }
+func (n *nexusFS) ReadFile(p string) ([]byte, error)     { return n.fs.ReadFile(p) }
+func (n *nexusFS) Remove(p string) error                 { return n.fs.Remove(p) }
+func (n *nexusFS) RemoveAll(p string) error              { return n.fs.RemoveAll(p) }
+func (n *nexusFS) Rename(o, p string) error              { return n.fs.Rename(o, p) }
+func (n *nexusFS) Symlink(t, l string) error             { return n.fs.Symlink(t, l) }
+
+func (n *nexusFS) Stat(p string) (DirEntry, error) {
+	e, err := n.fs.Stat(p)
+	if err != nil {
+		return DirEntry{}, err
+	}
+	return DirEntry(e), nil
+}
+
+func (n *nexusFS) Exists(p string) (bool, error) { return n.fs.Exists(p) }
+
+func (n *nexusFS) ReadDir(p string) ([]DirEntry, error) {
+	entries, err := n.fs.ReadDir(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, len(entries))
+	for i, e := range entries {
+		out[i] = DirEntry(e)
+	}
+	return out, nil
+}
+
+func (n *nexusFS) Open(p string, flags int) (File, error) {
+	f, err := n.fs.Open(p, flags)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

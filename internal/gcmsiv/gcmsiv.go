@@ -1,0 +1,201 @@
+package gcmsiv
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AEAD parameter sizes (RFC 8452 §4).
+const (
+	// NonceSize is the required nonce length in bytes.
+	NonceSize = 12
+	// TagSize is the length of the authentication tag in bytes.
+	TagSize = 16
+
+	// maxPlaintext and maxAAD are the RFC 8452 limits (2^36 bytes).
+	maxPlaintext = 1 << 36
+	maxAAD       = 1 << 36
+)
+
+// Errors returned by Open.
+var (
+	// ErrAuth reports an authentication failure: the ciphertext, AAD,
+	// nonce, or key is wrong or has been tampered with.
+	ErrAuth = errors.New("gcmsiv: message authentication failed")
+)
+
+// aead implements cipher.AEAD for AES-GCM-SIV.
+type aead struct {
+	keyGen cipher.Block // AES over the key-generating key
+	keyLen int          // 16 or 32
+}
+
+var _ cipher.AEAD = (*aead)(nil)
+
+// New returns an AES-GCM-SIV AEAD using the given 16- or 32-byte
+// key-generating key.
+func New(key []byte) (cipher.AEAD, error) {
+	switch len(key) {
+	case 16, 32:
+	default:
+		return nil, fmt.Errorf("gcmsiv: invalid key length %d (want 16 or 32)", len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("gcmsiv: creating AES cipher: %w", err)
+	}
+	return &aead{keyGen: block, keyLen: len(key)}, nil
+}
+
+func (a *aead) NonceSize() int { return NonceSize }
+func (a *aead) Overhead() int  { return TagSize }
+
+// deriveKeys derives the per-nonce message authentication key (16 bytes)
+// and message encryption key (16 or 32 bytes) per RFC 8452 §4: encrypt a
+// sequence of (little-endian counter ‖ nonce) blocks and keep the first
+// eight bytes of each ciphertext block.
+func (a *aead) deriveKeys(nonce []byte) (authKey [16]byte, encKey []byte) {
+	var in, out [16]byte
+	copy(in[4:], nonce)
+
+	nBlocks := 4
+	if a.keyLen == 32 {
+		nBlocks = 6
+	}
+	encKey = make([]byte, 0, a.keyLen)
+	for i := 0; i < nBlocks; i++ {
+		binary.LittleEndian.PutUint32(in[0:4], uint32(i))
+		a.keyGen.Encrypt(out[:], in[:])
+		switch {
+		case i < 2:
+			copy(authKey[8*i:], out[:8])
+		default:
+			encKey = append(encKey, out[:8]...)
+		}
+	}
+	return authKey, encKey
+}
+
+// tag computes the GCM-SIV tag: POLYVAL over padded AAD, padded plaintext
+// and the length block; XOR the nonce into the first 12 bytes; clear the
+// top bit; encrypt with the message encryption key.
+func computeTag(encBlock cipher.Block, authKey [16]byte, nonce, plaintext, aad []byte) [16]byte {
+	pv := newPolyval(authKey[:])
+	pv.updatePadded(aad)
+	pv.updatePadded(plaintext)
+
+	var lenBlock [16]byte
+	binary.LittleEndian.PutUint64(lenBlock[0:8], uint64(len(aad))*8)
+	binary.LittleEndian.PutUint64(lenBlock[8:16], uint64(len(plaintext))*8)
+	pv.update(lenBlock[:])
+
+	s := pv.sum()
+	for i := 0; i < NonceSize; i++ {
+		s[i] ^= nonce[i]
+	}
+	s[15] &= 0x7f
+
+	var tag [16]byte
+	encBlock.Encrypt(tag[:], s[:])
+	return tag
+}
+
+// ctr32LE applies the GCM-SIV counter mode: the initial block is the tag
+// with its top bit forced on, and the counter is the first four bytes
+// interpreted little-endian, incremented per block with wraparound.
+func ctr32LE(block cipher.Block, tag [16]byte, dst, src []byte) {
+	counterBlock := tag
+	counterBlock[15] |= 0x80
+	ctr := binary.LittleEndian.Uint32(counterBlock[0:4])
+
+	var keystream [16]byte
+	for len(src) > 0 {
+		binary.LittleEndian.PutUint32(counterBlock[0:4], ctr)
+		block.Encrypt(keystream[:], counterBlock[:])
+		n := subtle.XORBytes(dst, src, keystream[:])
+		dst, src = dst[n:], src[n:]
+		ctr++ // wraps mod 2^32 per the RFC
+	}
+}
+
+// Seal encrypts and authenticates plaintext with the given nonce and
+// additional data, appending the ciphertext and 16-byte tag to dst.
+func (a *aead) Seal(dst, nonce, plaintext, aad []byte) []byte {
+	if len(nonce) != NonceSize {
+		panic("gcmsiv: incorrect nonce length")
+	}
+	if uint64(len(plaintext)) > maxPlaintext || uint64(len(aad)) > maxAAD {
+		panic("gcmsiv: message too large")
+	}
+
+	authKey, encKeyBytes := a.deriveKeys(nonce)
+	encBlock, err := aes.NewCipher(encKeyBytes)
+	if err != nil {
+		// Key length is derived internally; failure is unreachable.
+		panic(fmt.Sprintf("gcmsiv: derived key rejected: %v", err))
+	}
+
+	tag := computeTag(encBlock, authKey, nonce, plaintext, aad)
+
+	ret, out := sliceForAppend(dst, len(plaintext)+TagSize)
+	ctr32LE(encBlock, tag, out[:len(plaintext)], plaintext)
+	copy(out[len(plaintext):], tag[:])
+	return ret
+}
+
+// Open authenticates and decrypts ciphertext (which includes the trailing
+// tag), appending the plaintext to dst. It returns ErrAuth if the message
+// does not authenticate.
+func (a *aead) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	if len(nonce) != NonceSize {
+		return nil, fmt.Errorf("gcmsiv: incorrect nonce length %d", len(nonce))
+	}
+	if len(ciphertext) < TagSize {
+		return nil, ErrAuth
+	}
+	if uint64(len(ciphertext)) > maxPlaintext+TagSize || uint64(len(aad)) > maxAAD {
+		return nil, ErrAuth
+	}
+
+	body := ciphertext[:len(ciphertext)-TagSize]
+	var tag [16]byte
+	copy(tag[:], ciphertext[len(ciphertext)-TagSize:])
+
+	authKey, encKeyBytes := a.deriveKeys(nonce)
+	encBlock, err := aes.NewCipher(encKeyBytes)
+	if err != nil {
+		panic(fmt.Sprintf("gcmsiv: derived key rejected: %v", err))
+	}
+
+	ret, out := sliceForAppend(dst, len(body))
+	ctr32LE(encBlock, tag, out, body)
+
+	expected := computeTag(encBlock, authKey, nonce, out, aad)
+	if subtle.ConstantTimeCompare(expected[:], tag[:]) != 1 {
+		// Zero the tentative plaintext before returning so callers cannot
+		// observe unauthenticated bytes.
+		for i := range out {
+			out[i] = 0
+		}
+		return nil, ErrAuth
+	}
+	return ret, nil
+}
+
+// sliceForAppend extends in by n bytes and returns both the full slice and
+// the newly added tail (the same helper pattern crypto/cipher uses).
+func sliceForAppend(in []byte, n int) (head, tail []byte) {
+	total := len(in) + n
+	if cap(in) >= total {
+		head = in[:total]
+	} else {
+		head = make([]byte, total)
+		copy(head, in)
+	}
+	tail = head[len(in):]
+	return head, tail
+}

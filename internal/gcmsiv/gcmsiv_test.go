@@ -1,0 +1,349 @@
+package gcmsiv
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex in test: %v", err)
+	}
+	return b
+}
+
+// TestPolyvalRFCVector checks the worked POLYVAL example from RFC 8452
+// Appendix A.
+func TestPolyvalRFCVector(t *testing.T) {
+	h := mustHex(t, "25629347589242761d31f826ba4b757b")
+	x1 := mustHex(t, "4f4f95668c83dfb6401762bb2d01a262")
+	x2 := mustHex(t, "d1a24ddd2721d006bbe45f20d3c9f362")
+	want := "f7a3b47b846119fae5b7866cf5e5b77e"
+
+	pv := newPolyval(h)
+	pv.update(x1)
+	pv.update(x2)
+	got := pv.sum()
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("POLYVAL = %x, want %s", got, want)
+	}
+}
+
+// TestMulXRFCVector checks the mulX_POLYVAL example from RFC 8452
+// Appendix A.
+func TestMulXRFCVector(t *testing.T) {
+	in := mustHex(t, "9c98c04df9387ded828175a92ba652d8")
+	want := "3931819bf271fada0503eb52574ca572"
+	got := feFromBytes(in).mulX().bytes()
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("mulX = %x, want %s", got, want)
+	}
+
+	// x * 1 = x: the unit polynomial shifts by one bit.
+	one := fieldElement{lo: 1}
+	if got := one.mulX(); got.lo != 2 || got.hi != 0 {
+		t.Fatalf("mulX(1) = %+v, want lo=2", got)
+	}
+}
+
+// TestPolyvalLinearity exercises the algebra: POLYVAL over a two-block
+// message equals dot(dot(X1,H) xor X2, H).
+func TestPolyvalLinearity(t *testing.T) {
+	var h, x1, x2 [16]byte
+	for i := range h {
+		h[i], x1[i], x2[i] = byte(i+1), byte(3*i+7), byte(5*i+11)
+	}
+	pv := newPolyval(h[:])
+	pv.update(x1[:])
+	pv.update(x2[:])
+	whole := pv.sum()
+
+	hx := feFromBytes(h[:]).mul(invX128)
+	s1 := feFromBytes(x1[:]).mul(hx)
+	s2 := s1.xor(feFromBytes(x2[:])).mul(hx)
+	manual := s2.bytes()
+	if whole != manual {
+		t.Fatalf("POLYVAL chaining mismatch: %x vs %x", whole, manual)
+	}
+}
+
+// TestPolyvalBuffering verifies that feeding a message in arbitrary
+// fragment sizes produces the same digest as one call.
+func TestPolyvalBuffering(t *testing.T) {
+	h := bytes.Repeat([]byte{0x42}, 16)
+	msg := make([]byte, 160)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	ref := newPolyval(h)
+	ref.update(msg)
+	want := ref.sum()
+
+	for _, chunk := range []int{1, 3, 5, 7, 15, 16, 17, 31, 33} {
+		pv := newPolyval(h)
+		for off := 0; off < len(msg); off += chunk {
+			end := off + chunk
+			if end > len(msg) {
+				end = len(msg)
+			}
+			pv.update(msg[off:end])
+		}
+		if got := pv.sum(); got != want {
+			t.Fatalf("chunk size %d: digest %x, want %x", chunk, got, want)
+		}
+	}
+}
+
+// gcmSIVVector is a test vector from RFC 8452 Appendix C.
+type gcmSIVVector struct {
+	name             string
+	key, nonce       string
+	plaintext, aad   string
+	ciphertextAndTag string
+}
+
+// These vectors are transcribed from RFC 8452 Appendix C.1 (AES-128) and
+// C.2 (AES-256).
+var rfcVectors = []gcmSIVVector{
+	{
+		name:             "aes128/empty",
+		key:              "01000000000000000000000000000000",
+		nonce:            "030000000000000000000000",
+		plaintext:        "",
+		aad:              "",
+		ciphertextAndTag: "dc20e2d83f25705bb49e439eca56de25",
+	},
+	{
+		name:             "aes128/8byte",
+		key:              "01000000000000000000000000000000",
+		nonce:            "030000000000000000000000",
+		plaintext:        "0100000000000000",
+		aad:              "",
+		ciphertextAndTag: "b5d839330ac7b786578782fff6013b815b287c22493a364c",
+	},
+	{
+		name:             "aes256/empty",
+		key:              "0100000000000000000000000000000000000000000000000000000000000000",
+		nonce:            "030000000000000000000000",
+		plaintext:        "",
+		aad:              "",
+		ciphertextAndTag: "07f5f4169bbf55a8400cd47ea6fd400f",
+	},
+}
+
+func TestRFCVectors(t *testing.T) {
+	for _, v := range rfcVectors {
+		t.Run(v.name, func(t *testing.T) {
+			a, err := New(mustHex(t, v.key))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			nonce := mustHex(t, v.nonce)
+			pt := mustHex(t, v.plaintext)
+			aad := mustHex(t, v.aad)
+			want := mustHex(t, v.ciphertextAndTag)
+
+			got := a.Seal(nil, nonce, pt, aad)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Seal = %x, want %x", got, want)
+			}
+
+			back, err := a.Open(nil, nonce, got, aad)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if !bytes.Equal(back, pt) {
+				t.Fatalf("Open = %x, want %x", back, pt)
+			}
+		})
+	}
+}
+
+func TestSealOpenRoundTripSizes(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	a, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := bytes.Repeat([]byte{3}, NonceSize)
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 255, 1024, 4096} {
+		pt := make([]byte, n)
+		if _, err := rand.Read(pt); err != nil {
+			t.Fatal(err)
+		}
+		aad := []byte("associated data")
+		ct := a.Seal(nil, nonce, pt, aad)
+		if len(ct) != n+TagSize {
+			t.Fatalf("len(ct) = %d, want %d", len(ct), n+TagSize)
+		}
+		back, err := a.Open(nil, nonce, ct, aad)
+		if err != nil {
+			t.Fatalf("n=%d Open: %v", n, err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("n=%d round trip mismatch", n)
+		}
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	a, err := New(bytes.Repeat([]byte{1}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, NonceSize)
+	pt := []byte("the volume rootkey would go here")
+	aad := []byte("metadata header")
+	ct := a.Seal(nil, nonce, pt, aad)
+
+	// Flipping any single bit of the ciphertext or tag must fail auth.
+	for i := 0; i < len(ct); i++ {
+		mut := bytes.Clone(ct)
+		mut[i] ^= 0x01
+		if _, err := a.Open(nil, nonce, mut, aad); !errors.Is(err, ErrAuth) {
+			t.Fatalf("bit flip at byte %d not detected (err=%v)", i, err)
+		}
+	}
+	// Wrong AAD must fail.
+	if _, err := a.Open(nil, nonce, ct, []byte("other header")); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong AAD accepted: %v", err)
+	}
+	// Wrong nonce must fail.
+	badNonce := bytes.Clone(nonce)
+	badNonce[0] ^= 1
+	if _, err := a.Open(nil, badNonce, ct, aad); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong nonce accepted: %v", err)
+	}
+	// Truncated ciphertext must fail.
+	if _, err := a.Open(nil, nonce, ct[:TagSize-1], aad); !errors.Is(err, ErrAuth) {
+		t.Fatalf("truncated ciphertext accepted: %v", err)
+	}
+}
+
+// TestNonceMisuseDeterminism confirms the SIV property: the same
+// (key, nonce, plaintext, aad) always produces the same ciphertext, and
+// differing plaintexts under the same nonce produce unrelated ciphertexts
+// rather than a keystream reuse catastrophe.
+func TestNonceMisuseDeterminism(t *testing.T) {
+	a, err := New(bytes.Repeat([]byte{9}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, NonceSize)
+	ct1 := a.Seal(nil, nonce, []byte("same plaintext"), nil)
+	ct2 := a.Seal(nil, nonce, []byte("same plaintext"), nil)
+	if !bytes.Equal(ct1, ct2) {
+		t.Fatal("SIV encryption not deterministic")
+	}
+
+	ctA := a.Seal(nil, nonce, []byte("plaintext AAAAAA"), nil)
+	ctB := a.Seal(nil, nonce, []byte("plaintext BBBBBB"), nil)
+	// Under CTR nonce reuse the XOR of ciphertexts would equal the XOR of
+	// plaintexts; under SIV the tags (hence keystreams) differ.
+	xorCT := make([]byte, 16)
+	xorPT := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		xorCT[i] = ctA[i] ^ ctB[i]
+		xorPT[i] = "plaintext AAAAAA"[i] ^ "plaintext BBBBBB"[i]
+	}
+	if bytes.Equal(xorCT, xorPT) {
+		t.Fatal("keystream reuse detected under repeated nonce")
+	}
+}
+
+func TestInvalidParameters(t *testing.T) {
+	if _, err := New(make([]byte, 17)); err == nil {
+		t.Fatal("17-byte key accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	a, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Open(nil, make([]byte, 11), make([]byte, 32), nil); err == nil {
+		t.Fatal("short nonce accepted by Open")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Seal with bad nonce did not panic")
+		}
+	}()
+	a.Seal(nil, make([]byte, 11), nil, nil)
+}
+
+func TestSealAppendsToDst(t *testing.T) {
+	a, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, NonceSize)
+	prefix := []byte("existing")
+	out := a.Seal(bytes.Clone(prefix), nonce, []byte("payload"), nil)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Seal did not append to dst")
+	}
+	back, err := a.Open(nil, nonce, out[len(prefix):], nil)
+	if err != nil || string(back) != "payload" {
+		t.Fatalf("Open after append: %q, %v", back, err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	key := bytes.Repeat([]byte{5}, 16)
+	a, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nonce [NonceSize]byte, pt, aad []byte) bool {
+		ct := a.Seal(nil, nonce[:], pt, aad)
+		back, err := a.Open(nil, nonce[:], ct, aad)
+		return err == nil && bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFieldMulCommutative(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := feFromBytes(a[:]), feFromBytes(b[:])
+		return x.mul(y) == y.mul(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFieldMulDistributive(t *testing.T) {
+	f := func(a, b, c [16]byte) bool {
+		x, y, z := feFromBytes(a[:]), feFromBytes(b[:]), feFromBytes(c[:])
+		left := x.xor(y).mul(z)
+		right := x.mul(z).xor(y.mul(z))
+		return left == right
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSealKeywrap(b *testing.B) {
+	a, err := New(make([]byte, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := make([]byte, NonceSize)
+	key := make([]byte, 32) // a wrapped metadata key
+	b.SetBytes(int64(len(key)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Seal(nil, nonce, key, nil)
+	}
+}

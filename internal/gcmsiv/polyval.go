@@ -1,0 +1,161 @@
+// Package gcmsiv implements the AES-GCM-SIV nonce-misuse-resistant AEAD
+// from RFC 8452, including the POLYVAL universal hash function.
+//
+// NEXUS uses AES-GCM-SIV as its keywrapping scheme (DSN'19 §IV-A2): every
+// metadata object is encrypted under a fresh random key, and that key is
+// wrapped with the volume rootkey using GCM-SIV. SIV-mode wrapping is the
+// right tool here because the wrapped payloads are high-entropy keys and
+// the construction remains secure even if a nonce is ever repeated.
+//
+// The implementation is pure Go over crypto/aes, with a constant-time
+// software POLYVAL. Performance is more than sufficient for NEXUS's use
+// (wrapping 16–48 byte keys), and the package passes the RFC 8452 test
+// vectors.
+package gcmsiv
+
+import "encoding/binary"
+
+// fieldElement is an element of GF(2^128) in POLYVAL's fully little-endian
+// representation: lo holds the coefficients of x^0..x^63 and hi holds
+// x^64..x^127, with byte 0 bit 0 of the serialized form being the
+// coefficient of x^0 (RFC 8452 §3).
+type fieldElement struct {
+	lo, hi uint64
+}
+
+// Reduction constants for the POLYVAL field, whose modulus is
+// f = x^128 + x^127 + x^126 + x^121 + 1.
+const (
+	// polyRedHi is f mod x^128 restricted to the high word: bits 127, 126
+	// and 121 (the x^0 term is folded in separately as lo ^= 1).
+	polyRedHi = 0xc200000000000000
+)
+
+// invX128 is x^-128 mod f, which RFC 8452 §3 notes equals
+// x^127 + x^124 + x^121 + x^114 + 1. Multiplying a plain field product by
+// this constant turns it into the Montgomery-style "dot" product POLYVAL
+// is defined over.
+var invX128 = fieldElement{
+	lo: 1,
+	hi: 1<<63 | 1<<60 | 1<<57 | 1<<50,
+}
+
+func feFromBytes(b []byte) fieldElement {
+	return fieldElement{
+		lo: binary.LittleEndian.Uint64(b[0:8]),
+		hi: binary.LittleEndian.Uint64(b[8:16]),
+	}
+}
+
+func (e fieldElement) bytes() [16]byte {
+	var out [16]byte
+	binary.LittleEndian.PutUint64(out[0:8], e.lo)
+	binary.LittleEndian.PutUint64(out[8:16], e.hi)
+	return out
+}
+
+func (e fieldElement) xor(o fieldElement) fieldElement {
+	return fieldElement{lo: e.lo ^ o.lo, hi: e.hi ^ o.hi}
+}
+
+// mulX multiplies e by x and reduces modulo f.
+func (e fieldElement) mulX() fieldElement {
+	carry := e.hi >> 63
+	hi := e.hi<<1 | e.lo>>63
+	lo := e.lo << 1
+	// Branchless reduction: if the x^128 coefficient was set, fold the
+	// modulus tail back in.
+	mask := -carry // all-ones when carry == 1
+	hi ^= mask & polyRedHi
+	lo ^= mask & 1
+	return fieldElement{lo: lo, hi: hi}
+}
+
+// mul returns the plain (non-Montgomery) product a*b mod f using a
+// constant-time shift-and-add over the 128 bits of a.
+func (a fieldElement) mul(b fieldElement) fieldElement {
+	var r fieldElement
+	v := b
+	for i := 0; i < 64; i++ {
+		mask := -((a.lo >> uint(i)) & 1)
+		r.lo ^= mask & v.lo
+		r.hi ^= mask & v.hi
+		v = v.mulX()
+	}
+	for i := 0; i < 64; i++ {
+		mask := -((a.hi >> uint(i)) & 1)
+		r.lo ^= mask & v.lo
+		r.hi ^= mask & v.hi
+		v = v.mulX()
+	}
+	return r
+}
+
+// polyval computes POLYVAL(h, blocks) per RFC 8452 §3:
+//
+//	S_0 = 0; S_j = dot(S_{j-1} XOR X_j, H) where dot(a,b) = a*b*x^-128.
+//
+// The x^-128 factor is folded into h once up front so each block costs a
+// single field multiplication.
+type polyval struct {
+	hx  fieldElement // h * x^-128
+	s   fieldElement
+	buf [16]byte
+	n   int // buffered bytes in buf
+}
+
+func newPolyval(h []byte) *polyval {
+	if len(h) != 16 {
+		panic("gcmsiv: POLYVAL key must be 16 bytes")
+	}
+	return &polyval{hx: feFromBytes(h).mul(invX128)}
+}
+
+// update absorbs p, which may be of any length; partial blocks are
+// buffered until complete. Callers zero-pad explicitly where RFC 8452
+// requires it (see padBlocks).
+func (p *polyval) update(data []byte) {
+	if p.n > 0 {
+		take := copy(p.buf[p.n:], data)
+		p.n += take
+		data = data[take:]
+		if p.n == 16 {
+			p.absorb(p.buf[:])
+			p.n = 0
+		}
+	}
+	for len(data) >= 16 {
+		p.absorb(data[:16])
+		data = data[16:]
+	}
+	if len(data) > 0 {
+		p.n = copy(p.buf[:], data)
+	}
+}
+
+// updatePadded absorbs data and then zero bytes up to the next 16-byte
+// boundary, as required for the AAD and plaintext sections of the
+// GCM-SIV tag computation.
+func (p *polyval) updatePadded(data []byte) {
+	p.update(data)
+	if p.n > 0 {
+		for i := p.n; i < 16; i++ {
+			p.buf[i] = 0
+		}
+		p.absorb(p.buf[:])
+		p.n = 0
+	}
+}
+
+func (p *polyval) absorb(block []byte) {
+	p.s = p.s.xor(feFromBytes(block)).mul(p.hx)
+}
+
+// sum returns the current POLYVAL state; it must only be called on a
+// block boundary (no buffered partial block).
+func (p *polyval) sum() [16]byte {
+	if p.n != 0 {
+		panic("gcmsiv: POLYVAL sum on partial block")
+	}
+	return p.s.bytes()
+}

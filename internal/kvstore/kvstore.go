@@ -1,0 +1,511 @@
+// Package kvstore is an embedded log-structured key-value store in the
+// style of LevelDB, used by the Table II database benchmarks.
+//
+// The paper runs LevelDB's db_bench over NEXUS and over plain OpenAFS
+// (§VII-B); what the filesystem under test experiences is LevelDB's I/O
+// shape: an append-only write-ahead log (synced per operation in *sync
+// modes), immutable sorted table files flushed when the write buffer
+// fills, and bulk sequential reads during iteration. This store
+// reproduces that shape faithfully on top of fsapi.FileSystem:
+//
+//   - writes go to a memtable and a WAL file; Sync-mode writes fsync the
+//     WAL (an encrypted re-upload under NEXUS);
+//   - when the memtable exceeds the write buffer it is flushed to a new
+//     sorted table file;
+//   - reads consult the memtable, then newest-to-oldest tables;
+//   - iterators merge everything into key order (forward or reverse);
+//   - a rudimentary full compaction bounds the table count.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"nexus/internal/fsapi"
+	"nexus/internal/serial"
+)
+
+// Errors.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("kvstore: database closed")
+	// ErrCorrupt reports an unreadable table or log file.
+	ErrCorrupt = errors.New("kvstore: corrupt database file")
+)
+
+// Options tunes the store.
+type Options struct {
+	// WriteBufferSize is the memtable flush threshold (default 4 MiB,
+	// matching the paper's "4 MB of cache memory").
+	WriteBufferSize int
+	// MaxTables triggers a full compaction when exceeded (default 8).
+	MaxTables int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WriteBufferSize <= 0 {
+		o.WriteBufferSize = 4 << 20
+	}
+	if o.MaxTables <= 0 {
+		o.MaxTables = 8
+	}
+	return o
+}
+
+// DB is an open database.
+type DB struct {
+	fs   fsapi.FileSystem
+	dir  string
+	opts Options
+
+	mem      map[string][]byte // nil value slice = tombstone
+	memBytes int
+	wal      fsapi.File
+	walSeq   int
+
+	tables []*table // oldest first
+
+	closed bool
+}
+
+// tombstone marks deletions in memtable and tables.
+var tombstone = []byte(nil)
+
+// table is one immutable sorted file, loaded lazily.
+type table struct {
+	name string
+	// loaded data: parallel sorted slices.
+	keys   []string
+	values [][]byte
+	loaded bool
+}
+
+// Open creates or reopens a database in dir on fs, replaying any WAL
+// left by a previous instance.
+func Open(fs fsapi.FileSystem, dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("kvstore: creating db dir: %w", err)
+	}
+	db := &DB{
+		fs:   fs,
+		dir:  dir,
+		opts: opts,
+		mem:  make(map[string][]byte),
+	}
+
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: listing db dir: %w", err)
+	}
+	var walNames []string
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name, "sst-"):
+			db.tables = append(db.tables, &table{name: path.Join(dir, e.Name)})
+		case strings.HasPrefix(e.Name, "wal-"):
+			walNames = append(walNames, e.Name)
+		}
+	}
+	sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].name < db.tables[j].name })
+	sort.Strings(walNames)
+
+	// Replay and retire leftover logs.
+	for _, name := range walNames {
+		full := path.Join(dir, name)
+		if err := db.replayWAL(full); err != nil {
+			return nil, err
+		}
+		var seq int
+		fmt.Sscanf(name, "wal-%08d", &seq)
+		if seq >= db.walSeq {
+			db.walSeq = seq + 1
+		}
+	}
+	if len(db.mem) > 0 {
+		if err := db.flushMemtable(); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range walNames {
+		if err := fs.Remove(path.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("kvstore: removing replayed wal: %w", err)
+		}
+	}
+	if err := db.openWAL(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) walName() string {
+	return path.Join(db.dir, fmt.Sprintf("wal-%08d", db.walSeq))
+}
+
+func (db *DB) openWAL() error {
+	wal, err := db.fs.Open(db.walName(), fsapi.O_RDWR|fsapi.O_CREATE|fsapi.O_TRUNC)
+	if err != nil {
+		return fmt.Errorf("kvstore: opening wal: %w", err)
+	}
+	db.wal = wal
+	return nil
+}
+
+// walRecord is: op(1) keyLen(4) key valLen(4) val.
+func appendWALRecord(buf []byte, key string, value []byte, del bool) []byte {
+	op := byte(1)
+	if del {
+		op = 2
+	}
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+func (db *DB) replayWAL(name string) error {
+	data, err := db.fs.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("kvstore: reading wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		if off+9 > len(data) {
+			break // torn tail record: discard, standard WAL behaviour
+		}
+		op := data[off]
+		keyLen := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+		if off+5+keyLen+4 > len(data) {
+			break
+		}
+		key := string(data[off+5 : off+5+keyLen])
+		valOff := off + 5 + keyLen
+		valLen := int(binary.LittleEndian.Uint32(data[valOff : valOff+4]))
+		if valOff+4+valLen > len(data) {
+			break
+		}
+		value := data[valOff+4 : valOff+4+valLen]
+		switch op {
+		case 1:
+			db.putMem(key, append([]byte(nil), value...))
+		case 2:
+			db.putMem(key, tombstone)
+		default:
+			return fmt.Errorf("%w: wal op %d", ErrCorrupt, op)
+		}
+		off = valOff + 4 + valLen
+	}
+	return nil
+}
+
+func (db *DB) putMem(key string, value []byte) {
+	if old, ok := db.mem[key]; ok {
+		db.memBytes -= len(key) + len(old)
+	}
+	db.mem[key] = value
+	db.memBytes += len(key) + len(value)
+}
+
+// WriteOptions controls durability of one write.
+type WriteOptions struct {
+	// Sync flushes the WAL through the filesystem before returning —
+	// under NEXUS this re-encrypts and uploads the log file, which is
+	// why the paper's *sync database workloads show ×2 (§VII-B).
+	Sync bool
+}
+
+// Put stores a key/value pair.
+func (db *DB) Put(key string, value []byte, opts WriteOptions) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if key == "" {
+		return fmt.Errorf("kvstore: empty key")
+	}
+	rec := appendWALRecord(nil, key, value, false)
+	if _, err := db.wal.Write(rec); err != nil {
+		return fmt.Errorf("kvstore: appending wal: %w", err)
+	}
+	if opts.Sync {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("kvstore: syncing wal: %w", err)
+		}
+	}
+	db.putMem(key, append([]byte(nil), value...))
+	if db.memBytes >= db.opts.WriteBufferSize {
+		return db.rotate()
+	}
+	return nil
+}
+
+// Delete removes a key (writing a tombstone).
+func (db *DB) Delete(key string, opts WriteOptions) error {
+	if db.closed {
+		return ErrClosed
+	}
+	rec := appendWALRecord(nil, key, nil, true)
+	if _, err := db.wal.Write(rec); err != nil {
+		return fmt.Errorf("kvstore: appending wal: %w", err)
+	}
+	if opts.Sync {
+		if err := db.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	db.putMem(key, tombstone)
+	if db.memBytes >= db.opts.WriteBufferSize {
+		return db.rotate()
+	}
+	return nil
+}
+
+// Get returns the value for key.
+func (db *DB) Get(key string) ([]byte, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if value, ok := db.mem[key]; ok {
+		if value == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return append([]byte(nil), value...), nil
+	}
+	// Newest table first.
+	for i := len(db.tables) - 1; i >= 0; i-- {
+		t := db.tables[i]
+		if err := db.loadTable(t); err != nil {
+			return nil, err
+		}
+		j := sort.SearchStrings(t.keys, key)
+		if j < len(t.keys) && t.keys[j] == key {
+			if t.values[j] == nil {
+				return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+			}
+			return append([]byte(nil), t.values[j]...), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+}
+
+// rotate flushes the memtable to a new sorted table and starts a fresh
+// WAL.
+func (db *DB) rotate() error {
+	if err := db.wal.Close(); err != nil {
+		return err
+	}
+	oldWAL := db.walName()
+	if err := db.flushMemtable(); err != nil {
+		return err
+	}
+	if err := db.fs.Remove(oldWAL); err != nil {
+		return fmt.Errorf("kvstore: removing wal: %w", err)
+	}
+	db.walSeq++
+	if err := db.openWAL(); err != nil {
+		return err
+	}
+	if len(db.tables) > db.opts.MaxTables {
+		return db.compact()
+	}
+	return nil
+}
+
+// flushMemtable writes the memtable as a sorted table file.
+func (db *DB) flushMemtable() error {
+	if len(db.mem) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(db.mem))
+	for k := range db.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	w := serial.NewWriter(db.memBytes + 16*len(keys))
+	w.WriteUint32(uint32(len(keys)))
+	for _, k := range keys {
+		v := db.mem[k]
+		w.WriteString(k)
+		w.WriteBool(v == nil)
+		w.WriteBytes(v)
+	}
+	name := path.Join(db.dir, fmt.Sprintf("sst-%08d", len(db.tables)))
+	if err := db.fs.WriteFile(name, w.Bytes()); err != nil {
+		return fmt.Errorf("kvstore: writing table: %w", err)
+	}
+	values := make([][]byte, len(keys))
+	for i, k := range keys {
+		values[i] = db.mem[k]
+	}
+	db.tables = append(db.tables, &table{name: name, keys: keys, values: values, loaded: true})
+	db.mem = make(map[string][]byte)
+	db.memBytes = 0
+	return nil
+}
+
+func (db *DB) loadTable(t *table) error {
+	if t.loaded {
+		return nil
+	}
+	data, err := db.fs.ReadFile(t.name)
+	if err != nil {
+		return fmt.Errorf("kvstore: reading table %s: %w", t.name, err)
+	}
+	r := serial.NewReader(data)
+	n := r.ReadCount(0, "table entries")
+	t.keys = make([]string, 0, n)
+	t.values = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.ReadString(0, "table key")
+		dead := r.ReadBool("tombstone flag")
+		v := r.ReadBytes(0, "table value")
+		t.keys = append(t.keys, k)
+		if dead {
+			t.values = append(t.values, nil)
+		} else {
+			t.values = append(t.values, v)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("%w: table %s: %v", ErrCorrupt, t.name, err)
+	}
+	t.loaded = true
+	return nil
+}
+
+// compact merges all tables into one, dropping shadowed versions and
+// tombstones.
+func (db *DB) compact() error {
+	merged := make(map[string][]byte)
+	for _, t := range db.tables { // oldest first: later wins
+		if err := db.loadTable(t); err != nil {
+			return err
+		}
+		for i, k := range t.keys {
+			merged[k] = t.values[i]
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k, v := range merged {
+		if v != nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	w := serial.NewWriter(1 << 20)
+	w.WriteUint32(uint32(len(keys)))
+	values := make([][]byte, len(keys))
+	for i, k := range keys {
+		values[i] = merged[k]
+		w.WriteString(k)
+		w.WriteBool(false)
+		w.WriteBytes(merged[k])
+	}
+	name := path.Join(db.dir, "sst-00000000")
+	for _, t := range db.tables {
+		if t.name != name {
+			if err := db.fs.Remove(t.name); err != nil {
+				return fmt.Errorf("kvstore: removing compacted table: %w", err)
+			}
+		}
+	}
+	if err := db.fs.WriteFile(name, w.Bytes()); err != nil {
+		return fmt.Errorf("kvstore: writing compacted table: %w", err)
+	}
+	db.tables = []*table{{name: name, keys: keys, values: values, loaded: true}}
+	return nil
+}
+
+// Iterator walks all live keys in order.
+type Iterator struct {
+	keys   []string
+	values [][]byte
+	pos    int
+}
+
+// NewIterator merges the memtable and all tables into a point-in-time
+// ordered view. reverse iterates descending.
+func (db *DB) NewIterator(reverse bool) (*Iterator, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	merged := make(map[string][]byte, len(db.mem))
+	for _, t := range db.tables {
+		if err := db.loadTable(t); err != nil {
+			return nil, err
+		}
+		for i, k := range t.keys {
+			merged[k] = t.values[i]
+		}
+	}
+	for k, v := range db.mem {
+		merged[k] = v
+	}
+	keys := make([]string, 0, len(merged))
+	for k, v := range merged {
+		if v != nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if reverse {
+		for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+	}
+	values := make([][]byte, len(keys))
+	for i, k := range keys {
+		values[i] = merged[k]
+	}
+	return &Iterator{keys: keys, values: values}, nil
+}
+
+// Next advances and reports whether a pair is available.
+func (it *Iterator) Next() bool {
+	if it.pos >= len(it.keys) {
+		return false
+	}
+	it.pos++
+	return it.pos <= len(it.keys)
+}
+
+// Key returns the current key.
+func (it *Iterator) Key() string { return it.keys[it.pos-1] }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.values[it.pos-1] }
+
+// Len returns the total number of live pairs in the view.
+func (it *Iterator) Len() int { return len(it.keys) }
+
+// Flush forces the memtable to a table file (used by benchmarks to
+// settle state between phases).
+func (db *DB) Flush() error {
+	if db.closed {
+		return ErrClosed
+	}
+	if len(db.mem) == 0 {
+		return nil
+	}
+	return db.rotate()
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.wal.Sync(); err != nil {
+		return err
+	}
+	return db.wal.Close()
+}

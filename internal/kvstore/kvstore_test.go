@@ -1,0 +1,254 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nexus/internal/backend"
+	"nexus/internal/fsapi"
+	"nexus/internal/plainfs"
+)
+
+func newDB(t *testing.T, opts Options) (*DB, fsapi.FileSystem) {
+	t.Helper()
+	fs := plainfs.New(backend.NewMemStore())
+	db, err := Open(fs, "/db", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	return db, fs
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := newDB(t, Options{})
+	if err := db.Put("alpha", []byte("1"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("alpha")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := db.Put("alpha", []byte("2"), WriteOptions{Sync: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = db.Get("alpha")
+	if err != nil || string(got) != "2" {
+		t.Fatalf("Get after overwrite = %q, %v", got, err)
+	}
+	// Delete.
+	if err := db.Delete("alpha", WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if _, err := db.Get("never"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v", err)
+	}
+	if err := db.Put("", nil, WriteOptions{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestMemtableFlushAndTableReads(t *testing.T) {
+	// Small write buffer forces flushes.
+	db, _ := newDB(t, Options{WriteBufferSize: 1 << 10})
+	const n = 200
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%06d", i)
+		if err := db.Put(key, []byte(fmt.Sprintf("value%d", i)), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(db.tables) == 0 {
+		t.Fatal("no table files flushed despite tiny write buffer")
+	}
+	// Every key readable (some from tables, some from memtable).
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%06d", i)
+		got, err := db.Get(key)
+		if err != nil || string(got) != fmt.Sprintf("value%d", i) {
+			t.Fatalf("Get(%s) = %q, %v", key, got, err)
+		}
+	}
+}
+
+func TestShadowingAcrossTables(t *testing.T) {
+	db, _ := newDB(t, Options{WriteBufferSize: 1 << 10})
+	if err := db.Put("k", []byte("old"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("k", []byte("new"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("k")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("Get = %q, %v (newest table must win)", got, err)
+	}
+	// Tombstone in a newer table shadows older data.
+	if err := db.Delete("k", WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after flushed delete = %v", err)
+	}
+}
+
+func TestIteratorOrderAndReverse(t *testing.T) {
+	db, _ := newDB(t, Options{WriteBufferSize: 1 << 10})
+	keys := []string{"delta", "alpha", "charlie", "bravo"}
+	for _, k := range keys {
+		if err := db.Put(k, []byte(k), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := db.NewIterator(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for it.Next() {
+		got = append(got, it.Key())
+		if string(it.Value()) != it.Key() {
+			t.Fatalf("value mismatch at %s", it.Key())
+		}
+	}
+	want := []string{"alpha", "bravo", "charlie", "delta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forward order = %v", got)
+		}
+	}
+
+	rit, err := db.NewIterator(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	for rit.Next() {
+		got = append(got, rit.Key())
+	}
+	for i := range want {
+		if got[i] != want[len(want)-1-i] {
+			t.Fatalf("reverse order = %v", got)
+		}
+	}
+}
+
+func TestCrashRecoveryViaWAL(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	db, err := Open(fs, "/db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := db.Put(fmt.Sprintf("k%02d", i), []byte("v"), WriteOptions{Sync: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete("k05", WriteOptions{Sync: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no Close, reopen over the same filesystem.
+	db2, err := Open(fs, "/db", Options{})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer db2.Close()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		got, err := db2.Get(key)
+		if i == 5 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key resurrected: %q, %v", got, err)
+			}
+			continue
+		}
+		if err != nil || string(got) != "v" {
+			t.Fatalf("Get(%s) after recovery = %q, %v", key, got, err)
+		}
+	}
+}
+
+func TestCompactionBoundsTables(t *testing.T) {
+	db, _ := newDB(t, Options{WriteBufferSize: 256, MaxTables: 3})
+	for i := 0; i < 400; i++ {
+		if err := db.Put(fmt.Sprintf("key%04d", i), bytes.Repeat([]byte{byte(i)}, 32), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(db.tables) > 4 {
+		t.Fatalf("tables = %d after compaction threshold 3", len(db.tables))
+	}
+	// Data intact post-compaction.
+	for _, i := range []int{0, 100, 399} {
+		if _, err := db.Get(fmt.Sprintf("key%04d", i)); err != nil {
+			t.Fatalf("Get after compaction: %v", err)
+		}
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	db, _ := newDB(t, Options{WriteBufferSize: 2 << 10, MaxTables: 3})
+	ref := make(map[string]string)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := fmt.Sprintf("v%d", i)
+			if err := db.Put(key, []byte(val), WriteOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			ref[key] = val
+		case 2:
+			if err := db.Delete(key, WriteOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, key)
+		}
+	}
+	for key, want := range ref {
+		got, err := db.Get(key)
+		if err != nil || string(got) != want {
+			t.Fatalf("Get(%s) = %q, %v; want %q", key, got, err, want)
+		}
+	}
+	it, err := db.NewIterator(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Len() != len(ref) {
+		t.Fatalf("iterator sees %d keys, reference has %d", it.Len(), len(ref))
+	}
+}
+
+func TestClosedDB(t *testing.T) {
+	db, _ := newDB(t, Options{})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("k", nil, WriteOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if _, err := db.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+package metadata
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nexus/internal/acl"
+	"nexus/internal/uuid"
+)
+
+// noLoad is a bucketLoader for dirnodes whose buckets are all resident.
+func noLoad(i int) (*Bucket, error) {
+	return nil, fmt.Errorf("unexpected bucket load of index %d", i)
+}
+
+func TestDirnodeInsertLookupRemove(t *testing.T) {
+	d := NewDirnode(uuid.New(), uuid.New(), 4)
+
+	e1 := DirEntry{Name: "a.txt", UUID: uuid.New(), Kind: KindFile}
+	e2 := DirEntry{Name: "docs", UUID: uuid.New(), Kind: KindDir}
+	if err := d.Insert(e1, noLoad); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := d.Insert(e2, noLoad); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := d.Insert(DirEntry{Name: "a.txt", UUID: uuid.New(), Kind: KindFile}, noLoad); !errors.Is(err, ErrEntryExists) {
+		t.Fatalf("duplicate insert = %v", err)
+	}
+
+	got, err := d.Lookup("docs", noLoad)
+	if err != nil || got.UUID != e2.UUID || got.Kind != KindDir {
+		t.Fatalf("Lookup(docs) = %+v, %v", got, err)
+	}
+	if _, err := d.Lookup("missing", noLoad); !errors.Is(err, ErrEntryNotFound) {
+		t.Fatalf("Lookup(missing) = %v", err)
+	}
+
+	all, err := d.List(noLoad)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("List = %v, %v", all, err)
+	}
+	if d.EntryCount() != 2 {
+		t.Fatalf("EntryCount = %d", d.EntryCount())
+	}
+
+	removed, err := d.Remove("a.txt", noLoad)
+	if err != nil || removed.UUID != e1.UUID {
+		t.Fatalf("Remove = %+v, %v", removed, err)
+	}
+	if _, err := d.Remove("a.txt", noLoad); !errors.Is(err, ErrEntryNotFound) {
+		t.Fatalf("double remove = %v", err)
+	}
+	if d.EntryCount() != 1 {
+		t.Fatalf("EntryCount after remove = %d", d.EntryCount())
+	}
+}
+
+func TestDirnodeBucketSplitting(t *testing.T) {
+	const bucketSize = 4
+	d := NewDirnode(uuid.New(), uuid.Nil, bucketSize)
+	for i := 0; i < 10; i++ {
+		e := DirEntry{Name: fmt.Sprintf("f%02d", i), UUID: uuid.New(), Kind: KindFile}
+		if err := d.Insert(e, noLoad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 entries at 4 per bucket = 3 buckets.
+	if len(d.Refs) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(d.Refs))
+	}
+	if d.Refs[0].Count != 4 || d.Refs[1].Count != 4 || d.Refs[2].Count != 2 {
+		t.Fatalf("bucket counts = %v", []uint32{d.Refs[0].Count, d.Refs[1].Count, d.Refs[2].Count})
+	}
+	// Removing from bucket 0 leaves a slot that the next insert reuses
+	// (first non-full bucket wins).
+	if _, err := d.Remove("f00", noLoad); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(DirEntry{Name: "new", UUID: uuid.New(), Kind: KindFile}, noLoad); err != nil {
+		t.Fatal(err)
+	}
+	if d.Refs[0].Count != 4 || len(d.Refs) != 3 {
+		t.Fatalf("slot not reused: counts %v", d.Refs)
+	}
+}
+
+func TestDirnodeDirtyTracking(t *testing.T) {
+	d := NewDirnode(uuid.New(), uuid.Nil, 2)
+	for i := 0; i < 6; i++ {
+		if err := d.Insert(DirEntry{Name: fmt.Sprintf("f%d", i), UUID: uuid.New(), Kind: KindFile}, noLoad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three buckets were created dirty; clean them.
+	for _, b := range d.Buckets {
+		b.Dirty = false
+	}
+	if got := d.DirtyBuckets(); len(got) != 0 {
+		t.Fatalf("DirtyBuckets after clean = %v", got)
+	}
+	// Touch only the middle bucket (f2 or f3 lives there).
+	if _, err := d.Remove("f2", noLoad); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DirtyBuckets(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DirtyBuckets = %v, want [1]", got)
+	}
+}
+
+func TestDirnodeEncodeDecode(t *testing.T) {
+	d := NewDirnode(uuid.New(), uuid.New(), 128)
+	d.ACL.Set(2, acl.ReadOnly)
+	d.ACL.Set(3, acl.ReadWrite)
+	d.Refs = []BucketRef{
+		{UUID: uuid.New(), Count: 5, MAC: [16]byte{1, 2, 3}},
+		{UUID: uuid.New(), Count: 2, MAC: [16]byte{9}},
+	}
+
+	got, err := DecodeDirnodeBody(d.UUID, d.Parent, d.EncodeBody())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.UUID != d.UUID || got.Parent != d.Parent || got.BucketSize != 128 {
+		t.Fatal("header fields lost")
+	}
+	if got.ACL.Get(2) != acl.ReadOnly || got.ACL.Get(3) != acl.ReadWrite {
+		t.Fatal("ACL lost")
+	}
+	if len(got.Refs) != 2 || got.Refs[0] != d.Refs[0] || got.Refs[1] != d.Refs[1] {
+		t.Fatalf("refs lost: %+v", got.Refs)
+	}
+	if len(got.Buckets) != 2 {
+		t.Fatalf("bucket slots = %d", len(got.Buckets))
+	}
+	if _, err := DecodeDirnodeBody(d.UUID, d.Parent, d.EncodeBody()[:3]); err == nil {
+		t.Fatal("truncated dirnode accepted")
+	}
+}
+
+func TestBucketEncodeDecode(t *testing.T) {
+	b := &Bucket{
+		UUID: uuid.New(),
+		Entries: []DirEntry{
+			{Name: "file", UUID: uuid.New(), Kind: KindFile},
+			{Name: "link", UUID: uuid.New(), Kind: KindSymlink, SymlinkTarget: "../target"},
+			{Name: "dir", UUID: uuid.New(), Kind: KindDir},
+		},
+	}
+	got, err := DecodeBucketBody(b.EncodeBody())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	for i := range b.Entries {
+		if got.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got.Entries[i], b.Entries[i])
+		}
+	}
+	// Invalid kind rejected.
+	raw := b.EncodeBody()
+	// Corrupt the first entry's kind byte: count(4) + namelen(4) + "file"(4) + uuid(16) = offset 28.
+	raw[28] = 99
+	if _, err := DecodeBucketBody(raw); err == nil {
+		t.Fatal("invalid entry kind accepted")
+	}
+}
+
+func TestDirnodeLazyBucketLoading(t *testing.T) {
+	// Encode a dirnode with two buckets, then decode and access it with a
+	// loader that serves sealed buckets, counting loads.
+	rk, err := NewRootKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirnode(uuid.New(), uuid.Nil, 2)
+	for i := 0; i < 4; i++ {
+		if err := d.Insert(DirEntry{Name: fmt.Sprintf("f%d", i), UUID: uuid.New(), Kind: KindFile}, noLoad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal each bucket and record tags.
+	sealedBuckets := make(map[uuid.UUID][]byte)
+	for i, b := range d.Buckets {
+		blob, err := Seal(rk, Preamble{Type: TypeDirBucket, UUID: b.UUID, Parent: d.UUID, Version: 1}, b.EncodeBody())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag, err := Tag(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Refs[i].MAC = tag
+		sealedBuckets[b.UUID] = blob
+	}
+
+	got, err := DecodeDirnodeBody(d.UUID, d.Parent, d.EncodeBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	loader := func(i int) (*Bucket, error) {
+		loads++
+		blob := sealedBuckets[got.Refs[i].UUID]
+		tag, err := Tag(blob)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(tag[:], got.Refs[i].MAC[:]) {
+			return nil, ErrBucketMACMismatch
+		}
+		_, body, err := Open(rk, blob)
+		if err != nil {
+			return nil, err
+		}
+		return DecodeBucketBody(body)
+	}
+
+	// f0 lives in bucket 0: a lookup loads one bucket only.
+	if _, err := got.Lookup("f0", loader); err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if loads != 1 {
+		t.Fatalf("loads after first lookup = %d, want 1", loads)
+	}
+	// A second lookup of the same bucket is served from memory.
+	if _, err := got.Lookup("f1", loader); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 1 {
+		t.Fatalf("loads after cached lookup = %d, want 1", loads)
+	}
+	// Listing loads the remaining bucket.
+	if _, err := got.List(loader); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 2 {
+		t.Fatalf("loads after List = %d, want 2", loads)
+	}
+}
+
+func TestBucketMACMismatchDetected(t *testing.T) {
+	// Simulates a rollback: the server re-serves an older sealed bucket.
+	rk, err := NewRootKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirnode(uuid.New(), uuid.Nil, 8)
+	if err := d.Insert(DirEntry{Name: "old", UUID: uuid.New(), Kind: KindFile}, noLoad); err != nil {
+		t.Fatal(err)
+	}
+	b := d.Buckets[0]
+	oldBlob, err := Seal(rk, Preamble{Type: TypeDirBucket, UUID: b.UUID, Parent: d.UUID, Version: 1}, b.EncodeBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Directory is updated: new entry, new seal, main dirnode records the
+	// new tag.
+	if err := d.Insert(DirEntry{Name: "new", UUID: uuid.New(), Kind: KindFile}, noLoad); err != nil {
+		t.Fatal(err)
+	}
+	newBlob, err := Seal(rk, Preamble{Type: TypeDirBucket, UUID: b.UUID, Parent: d.UUID, Version: 2}, b.EncodeBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTag, err := Tag(newBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Refs[0].MAC = newTag
+
+	// The loader is handed the OLD blob: tag comparison must fail.
+	oldTag, err := Tag(oldBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(oldTag[:], d.Refs[0].MAC[:]) {
+		t.Fatal("old and new bucket tags are identical")
+	}
+}

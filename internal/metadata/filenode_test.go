@@ -1,0 +1,174 @@
+package metadata
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/uuid"
+)
+
+func TestFilenodeEncryptDecryptRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, 100, 1024, 4096, 5000} {
+		f := NewFilenode(uuid.New(), uuid.New(), 1024)
+		pt := make([]byte, size)
+		if _, err := rand.Read(pt); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := f.EncryptContent(pt)
+		if err != nil {
+			t.Fatalf("size %d: EncryptContent: %v", size, err)
+		}
+		if len(blob) != size {
+			t.Fatalf("size %d: ciphertext %d bytes (tags must live in the filenode)", size, len(blob))
+		}
+		// A 1-byte ciphertext can coincide with its plaintext by chance
+		// (p=1/256); only assert divergence where coincidence is
+		// cryptographically negligible.
+		if size >= 16 && bytes.Equal(blob, pt) {
+			t.Fatal("ciphertext equals plaintext")
+		}
+		wantChunks := (size + 1023) / 1024
+		if len(f.Chunks) != wantChunks || f.NumChunks() != wantChunks {
+			t.Fatalf("size %d: chunks = %d, want %d", size, len(f.Chunks), wantChunks)
+		}
+		got, err := f.DecryptContent(blob)
+		if err != nil {
+			t.Fatalf("size %d: DecryptContent: %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestFilenodeFreshKeysPerUpdate(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.Nil, 1024)
+	pt := bytes.Repeat([]byte{7}, 2048)
+	if _, err := f.EncryptContent(pt); err != nil {
+		t.Fatal(err)
+	}
+	firstKeys := make([]ChunkContext, len(f.Chunks))
+	copy(firstKeys, f.Chunks)
+	if _, err := f.EncryptContent(pt); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Chunks {
+		if f.Chunks[i].Key == firstKeys[i].Key {
+			t.Fatalf("chunk %d key reused across updates", i)
+		}
+	}
+}
+
+func TestFilenodeChunkSwapDetected(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.Nil, 16)
+	pt := bytes.Repeat([]byte{1}, 48) // 3 chunks
+	blob, err := f.EncryptContent(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap chunks 0 and 1 in the data object AND their contexts — the
+	// position is bound via AAD, so even a consistent swap fails.
+	swapped := bytes.Clone(blob)
+	copy(swapped[0:16], blob[16:32])
+	copy(swapped[16:32], blob[0:16])
+	f.Chunks[0], f.Chunks[1] = f.Chunks[1], f.Chunks[0]
+	if _, err := f.DecryptContent(swapped); !errors.Is(err, ErrTampered) {
+		t.Fatalf("chunk swap accepted: %v", err)
+	}
+}
+
+func TestFilenodeTamperAndTruncationDetected(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.Nil, 32)
+	pt := bytes.Repeat([]byte{3}, 100)
+	blob, err := f.EncryptContent(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Clone(blob)
+	mut[50] ^= 1
+	if _, err := f.DecryptContent(mut); !errors.Is(err, ErrTampered) {
+		t.Fatalf("ciphertext flip accepted: %v", err)
+	}
+	if _, err := f.DecryptContent(blob[:99]); !errors.Is(err, ErrTampered) {
+		t.Fatalf("truncation accepted: %v", err)
+	}
+	if _, err := f.DecryptContent(append(bytes.Clone(blob), 0)); !errors.Is(err, ErrTampered) {
+		t.Fatalf("extension accepted: %v", err)
+	}
+}
+
+func TestFilenodeCrossFileTransplantDetected(t *testing.T) {
+	// Data encrypted for one file must not decrypt under another file's
+	// filenode even if contexts are copied (AAD binds the data UUID).
+	f1 := NewFilenode(uuid.New(), uuid.Nil, 64)
+	f2 := NewFilenode(uuid.New(), uuid.Nil, 64)
+	pt := bytes.Repeat([]byte{5}, 64)
+	blob, err := f1.EncryptContent(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Size = f1.Size
+	f2.Chunks = append([]ChunkContext(nil), f1.Chunks...)
+	if _, err := f2.DecryptContent(blob); !errors.Is(err, ErrTampered) {
+		t.Fatalf("cross-file transplant accepted: %v", err)
+	}
+}
+
+func TestFilenodeEncodeDecode(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.New(), 1<<20)
+	f.LinkCount = 3
+	pt := bytes.Repeat([]byte{9}, 3<<20)
+	if _, err := f.EncryptContent(pt); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.DataUUID != f.DataUUID || got.Size != f.Size ||
+		got.ChunkSize != f.ChunkSize || got.LinkCount != 3 {
+		t.Fatalf("fields lost: %+v", got)
+	}
+	if len(got.Chunks) != 3 {
+		t.Fatalf("chunks = %d", len(got.Chunks))
+	}
+	for i := range f.Chunks {
+		if got.Chunks[i] != f.Chunks[i] {
+			t.Fatalf("chunk %d context lost", i)
+		}
+	}
+	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody()[:20]); err == nil {
+		t.Fatal("truncated filenode accepted")
+	}
+}
+
+func TestFilenodeMetadataOverhead(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.Nil, 1<<20)
+	pt := make([]byte, 10<<20) // 10 chunks
+	if _, err := f.EncryptContent(pt); err != nil {
+		t.Fatal(err)
+	}
+	// 44 bytes of context per 1 MiB chunk.
+	if got := f.MetadataOverhead(); got != 10*44 {
+		t.Fatalf("MetadataOverhead = %d, want %d", got, 10*44)
+	}
+}
+
+func TestQuickFilenodeRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		fn := NewFilenode(uuid.New(), uuid.Nil, 256)
+		blob, err := fn.EncryptContent(data)
+		if err != nil {
+			return false
+		}
+		got, err := fn.DecryptContent(blob)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package metadata
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"nexus/internal/serial"
+	"nexus/internal/uuid"
+)
+
+// OwnerUserID is the fixed user ID of the volume owner. Other users are
+// assigned IDs from 2 upwards.
+const OwnerUserID uint32 = 1
+
+// maxUsers bounds the supernode user table.
+const maxUsers = 64 << 10
+
+// User binds a username and public key to the small integer ID that
+// dirnode ACLs reference (DSN'19 §IV-C).
+type User struct {
+	ID        uint32
+	Name      string
+	PublicKey ed25519.PublicKey
+}
+
+// Supernode defines the context of a single NEXUS volume: the volume and
+// root-directory UUIDs, the immutable owner identity, and the table of
+// authorized users (§IV-A1).
+type Supernode struct {
+	// VolumeUUID names the volume (and this supernode object).
+	VolumeUUID uuid.UUID
+	// RootDir is the UUID of the root dirnode.
+	RootDir uuid.UUID
+	// Owner is the volume owner. The owner is immutable and holds
+	// OwnerUserID.
+	Owner User
+	// Users are the other authorized identities, in insertion order.
+	Users []User
+	// NextUserID is the next ID to assign.
+	NextUserID uint32
+}
+
+// Supernode errors.
+var (
+	// ErrUserExists reports an attempt to add a duplicate username or key.
+	ErrUserExists = errors.New("metadata: user already present in supernode")
+	// ErrUserNotFound reports a lookup of an unknown user.
+	ErrUserNotFound = errors.New("metadata: user not found in supernode")
+)
+
+// NewSupernode creates the supernode for a fresh volume owned by the
+// given identity.
+func NewSupernode(ownerName string, ownerKey ed25519.PublicKey) (*Supernode, error) {
+	if ownerName == "" {
+		return nil, fmt.Errorf("metadata: owner name must not be empty")
+	}
+	if len(ownerKey) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("metadata: owner key must be %d bytes", ed25519.PublicKeySize)
+	}
+	return &Supernode{
+		VolumeUUID: uuid.New(),
+		RootDir:    uuid.New(),
+		Owner: User{
+			ID:        OwnerUserID,
+			Name:      ownerName,
+			PublicKey: bytes.Clone(ownerKey),
+		},
+		NextUserID: OwnerUserID + 1,
+	}, nil
+}
+
+// AddUser grants a new identity access to the volume and returns its
+// assigned user ID. Usernames and keys must be unique.
+func (s *Supernode) AddUser(name string, key ed25519.PublicKey) (uint32, error) {
+	if name == "" {
+		return 0, fmt.Errorf("metadata: username must not be empty")
+	}
+	if len(key) != ed25519.PublicKeySize {
+		return 0, fmt.Errorf("metadata: user key must be %d bytes", ed25519.PublicKeySize)
+	}
+	if s.Owner.Name == name || bytes.Equal(s.Owner.PublicKey, key) {
+		return 0, fmt.Errorf("%w: %s (owner)", ErrUserExists, name)
+	}
+	for _, u := range s.Users {
+		if u.Name == name || bytes.Equal(u.PublicKey, key) {
+			return 0, fmt.Errorf("%w: %s", ErrUserExists, name)
+		}
+	}
+	id := s.NextUserID
+	s.NextUserID++
+	s.Users = append(s.Users, User{ID: id, Name: name, PublicKey: bytes.Clone(key)})
+	return id, nil
+}
+
+// RemoveUser revokes a user by name, returning their former ID. The
+// owner cannot be removed.
+func (s *Supernode) RemoveUser(name string) (uint32, error) {
+	if name == s.Owner.Name {
+		return 0, fmt.Errorf("metadata: the volume owner cannot be removed")
+	}
+	for i, u := range s.Users {
+		if u.Name == name {
+			s.Users = append(s.Users[:i], s.Users[i+1:]...)
+			return u.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s", ErrUserNotFound, name)
+}
+
+// FindUserByKey returns the user entry whose public key matches,
+// including the owner.
+func (s *Supernode) FindUserByKey(key ed25519.PublicKey) (User, error) {
+	if bytes.Equal(s.Owner.PublicKey, key) {
+		return s.Owner, nil
+	}
+	for _, u := range s.Users {
+		if bytes.Equal(u.PublicKey, key) {
+			return u, nil
+		}
+	}
+	return User{}, fmt.Errorf("%w: by public key", ErrUserNotFound)
+}
+
+// FindUserByName returns the user entry with the given name, including
+// the owner.
+func (s *Supernode) FindUserByName(name string) (User, error) {
+	if s.Owner.Name == name {
+		return s.Owner, nil
+	}
+	for _, u := range s.Users {
+		if u.Name == name {
+			return u, nil
+		}
+	}
+	return User{}, fmt.Errorf("%w: %s", ErrUserNotFound, name)
+}
+
+// EncodeBody serializes the supernode body for Seal.
+func (s *Supernode) EncodeBody() []byte {
+	w := serial.NewWriter(128 + 64*len(s.Users))
+	w.WriteRaw(s.VolumeUUID[:])
+	w.WriteRaw(s.RootDir[:])
+	encodeUser(w, s.Owner)
+	w.WriteUint32(uint32(len(s.Users)))
+	for _, u := range s.Users {
+		encodeUser(w, u)
+	}
+	w.WriteUint32(s.NextUserID)
+	return w.Bytes()
+}
+
+// DecodeSupernodeBody parses a body produced by EncodeBody.
+func DecodeSupernodeBody(body []byte) (*Supernode, error) {
+	r := serial.NewReader(body)
+	var s Supernode
+	r.ReadRawInto(s.VolumeUUID[:], "volume uuid")
+	r.ReadRawInto(s.RootDir[:], "root dir uuid")
+	s.Owner = decodeUser(r)
+	n := r.ReadCount(maxUsers, "user count")
+	if n > 0 {
+		s.Users = make([]User, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		s.Users = append(s.Users, decodeUser(r))
+	}
+	s.NextUserID = r.ReadUint32("next user id")
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding supernode: %w", err)
+	}
+	return &s, nil
+}
+
+func encodeUser(w *serial.Writer, u User) {
+	w.WriteUint32(u.ID)
+	w.WriteString(u.Name)
+	w.WriteBytes(u.PublicKey)
+}
+
+func decodeUser(r *serial.Reader) User {
+	u := User{ID: r.ReadUint32("user id")}
+	u.Name = r.ReadString(256, "user name")
+	u.PublicKey = ed25519.PublicKey(r.ReadBytes(ed25519.PublicKeySize, "user public key"))
+	return u
+}

@@ -1,0 +1,120 @@
+// Package netsim provides network connections with simulated latency and
+// bandwidth, so the AFS-like storage substrate exhibits the cost structure
+// of a real campus network even when client and server share a process.
+//
+// The NEXUS evaluation (DSN'19 §VII) ran against an OpenAFS cell over a
+// LAN; its overheads are dominated by extra metadata round trips. To
+// reproduce the *shape* of those results the transport must make a round
+// trip cost something. Each Write on a wrapped connection is charged
+//
+//	oneWayLatency + len(payload)/bandwidth
+//
+// so a request/response exchange over a pair of wrapped endpoints costs
+// one RTT plus transfer time, which is the standard first-order model.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Profile describes a simulated link.
+type Profile struct {
+	// RTT is the round-trip latency. Half is charged to each Write.
+	RTT time.Duration
+	// Bandwidth is the link rate in bytes per second. Zero means
+	// infinite (no per-byte charge).
+	Bandwidth int64
+}
+
+// Common profiles.
+var (
+	// LAN approximates the campus network of the paper's testbed:
+	// 0.5 ms RTT, 1 Gbit/s.
+	LAN = Profile{RTT: 500 * time.Microsecond, Bandwidth: 125 << 20}
+	// WAN approximates a home broadband link to a cloud provider:
+	// 20 ms RTT, 100 Mbit/s.
+	WAN = Profile{RTT: 20 * time.Millisecond, Bandwidth: 12 << 20}
+	// Loopback has no simulated cost.
+	Loopback = Profile{}
+)
+
+// TransferCost returns the simulated one-way cost of sending n bytes.
+func (p Profile) TransferCost(n int) time.Duration {
+	d := p.RTT / 2
+	if p.Bandwidth > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / p.Bandwidth)
+	}
+	return d
+}
+
+// IsZero reports whether the profile charges nothing.
+func (p Profile) IsZero() bool { return p.RTT == 0 && p.Bandwidth == 0 }
+
+// conn wraps a net.Conn, delaying writes per the profile.
+type conn struct {
+	net.Conn
+	profile Profile
+}
+
+// Wrap returns c with the profile's costs applied to every Write. A zero
+// profile returns c unchanged.
+func Wrap(c net.Conn, p Profile) net.Conn {
+	if p.IsZero() {
+		return c
+	}
+	return &conn{Conn: c, profile: p}
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	delay(c.profile.TransferCost(len(b)))
+	return c.Conn.Write(b)
+}
+
+// delay waits for d with sub-millisecond fidelity: timer sleeps have
+// multi-millisecond granularity on some kernels, which would swamp the
+// sub-millisecond RTTs being simulated, so the final stretch is a busy
+// wait.
+func delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	const spinWindow = 2 * time.Millisecond
+	deadline := time.Now().Add(d)
+	if d > spinWindow {
+		time.Sleep(d - spinWindow)
+	}
+	for time.Now().Before(deadline) { //nolint:revive // intentional busy-wait
+	}
+}
+
+// Listener wraps every accepted connection with the profile.
+type Listener struct {
+	net.Listener
+	profile Profile
+}
+
+// NewListener returns a listener whose accepted connections carry the
+// profile's costs.
+func NewListener(l net.Listener, p Profile) *Listener {
+	return &Listener{Listener: l, profile: p}
+}
+
+// Accept waits for the next connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: accept: %w", err)
+	}
+	return Wrap(c, l.profile), nil
+}
+
+// Dial connects to addr over TCP and wraps the connection.
+func Dial(addr string, p Profile) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, err)
+	}
+	return Wrap(c, p), nil
+}

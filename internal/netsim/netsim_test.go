@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTransferCost(t *testing.T) {
+	p := Profile{RTT: 10 * time.Millisecond, Bandwidth: 1 << 20} // 1 MiB/s
+	// Latency-only component.
+	if got := p.TransferCost(0); got != 5*time.Millisecond {
+		t.Fatalf("TransferCost(0) = %v, want 5ms", got)
+	}
+	// 1 MiB at 1 MiB/s adds one second.
+	if got := p.TransferCost(1 << 20); got != 5*time.Millisecond+time.Second {
+		t.Fatalf("TransferCost(1MiB) = %v", got)
+	}
+	// Infinite bandwidth charges latency only.
+	lat := Profile{RTT: 2 * time.Millisecond}
+	if got := lat.TransferCost(1 << 30); got != time.Millisecond {
+		t.Fatalf("latency-only TransferCost = %v", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Loopback.IsZero() {
+		t.Fatal("Loopback not zero")
+	}
+	if LAN.IsZero() || WAN.IsZero() {
+		t.Fatal("LAN/WAN are zero")
+	}
+}
+
+func TestWrapZeroProfileIsIdentity(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if Wrap(a, Loopback) != a {
+		t.Fatal("zero profile wrapped the connection")
+	}
+}
+
+func TestWrappedWriteDelays(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	wrapped := Wrap(a, Profile{RTT: 20 * time.Millisecond})
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 5)
+		_, _ = b.Read(buf)
+		close(done)
+	}()
+
+	start := time.Now()
+	if _, err := wrapped.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("write completed in %v, want >= 10ms half-RTT", elapsed)
+	}
+}
+
+func TestDialAndListener(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewListener(raw, Profile{RTT: 2 * time.Millisecond})
+	defer l.Close()
+
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		_, _ = conn.Write(buf) // echo
+	}()
+
+	c, err := Dial(raw.Addr().String(), Profile{RTT: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Request charged 1ms client-side, response 1ms server-side.
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("echo took %v, want >= 2ms", elapsed)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+}

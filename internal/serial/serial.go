@@ -1,0 +1,280 @@
+// Package serial implements the bounds-checked binary encoders and
+// decoders used for every structure NEXUS persists to untrusted storage.
+//
+// The NEXUS prototype "employs secure data serializers on sensitive
+// outputs" (DSN'19 §V): because all persisted bytes cross the trust
+// boundary, the decoder must treat its input as attacker-controlled.
+// Every read is length-checked, every variable-length field carries an
+// explicit length prefix validated against both the remaining input and a
+// caller-supplied cap, and decode failures carry enough context to audit.
+//
+// The format is deliberately simple: little-endian fixed-width integers,
+// and (uint32 length ‖ bytes) for variable-length fields. There is no
+// reflection and no self-describing metadata — structures encode and
+// decode themselves field by field, so the wire layout is explicit in
+// code review.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Limits applied to untrusted length prefixes. Individual callers can pass
+// tighter caps to ReadBytes; these are the absolute ceilings.
+const (
+	// MaxBytesLen caps any single variable-length field (64 MiB covers the
+	// largest data chunk NEXUS stores plus headers).
+	MaxBytesLen = 64 << 20
+	// MaxStringLen caps any string field (filesystem names, usernames).
+	MaxStringLen = 4096
+	// MaxCount caps any element-count prefix (directory entries, chunks,
+	// users). Decoders multiply counts by per-element sizes, so this also
+	// bounds allocation.
+	MaxCount = 1 << 20
+)
+
+// Decode errors. All decoder failures wrap ErrCorrupt so callers can treat
+// any malformed input uniformly as tampering.
+var (
+	ErrCorrupt  = errors.New("serial: corrupt or truncated input")
+	ErrTooLarge = errors.New("serial: length prefix exceeds limit")
+)
+
+// Writer accumulates an encoded structure. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded output. The returned slice aliases the
+// writer's buffer; callers that retain it must not keep writing.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// WriteUint8 appends a single byte.
+func (w *Writer) WriteUint8(v uint8) { w.buf = append(w.buf, v) }
+
+// WriteUint16 appends a little-endian uint16.
+func (w *Writer) WriteUint16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// WriteUint32 appends a little-endian uint32.
+func (w *Writer) WriteUint32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// WriteUint64 appends a little-endian uint64.
+func (w *Writer) WriteUint64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// WriteBool appends a bool as one byte.
+func (w *Writer) WriteBool(v bool) {
+	if v {
+		w.WriteUint8(1)
+	} else {
+		w.WriteUint8(0)
+	}
+}
+
+// WriteRaw appends b with no length prefix. Use for fixed-width fields
+// (UUIDs, keys, MACs) whose size is implied by the structure.
+func (w *Writer) WriteRaw(b []byte) { w.buf = append(w.buf, b...) }
+
+// WriteBytes appends a uint32 length prefix followed by b.
+func (w *Writer) WriteBytes(b []byte) {
+	w.WriteUint32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// WriteString appends s as a length-prefixed byte field.
+func (w *Writer) WriteString(s string) {
+	w.WriteUint32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes a structure from untrusted bytes. The zero value is an
+// empty reader; use NewReader.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The reader does not copy b; callers
+// must not mutate it during decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered, or nil. Once an error
+// occurs all subsequent reads return zero values, so decoders may read an
+// entire structure and check Err once at the end.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Offset returns the current decode position, for error reporting.
+func (r *Reader) Offset() int { return r.off }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: reading %s at offset %d (len %d)",
+			ErrCorrupt, what, r.off, len(r.buf))
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// ReadUint8 consumes one byte.
+func (r *Reader) ReadUint8(what string) uint8 {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// ReadUint16 consumes a little-endian uint16.
+func (r *Reader) ReadUint16(what string) uint16 {
+	b := r.take(2, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// ReadUint32 consumes a little-endian uint32.
+func (r *Reader) ReadUint32(what string) uint32 {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// ReadUint64 consumes a little-endian uint64.
+func (r *Reader) ReadUint64(what string) uint64 {
+	b := r.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// ReadBool consumes one byte and interprets it strictly: 0 is false, 1 is
+// true, anything else is corruption.
+func (r *Reader) ReadBool(what string) bool {
+	switch r.ReadUint8(what) {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(what + " (invalid bool)")
+		return false
+	}
+}
+
+// ReadRaw consumes exactly n bytes with no length prefix and returns a
+// copy, for fixed-width fields.
+func (r *Reader) ReadRaw(n int, what string) []byte {
+	b := r.take(n, what)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// ReadRawInto consumes len(dst) bytes into dst.
+func (r *Reader) ReadRawInto(dst []byte, what string) {
+	b := r.take(len(dst), what)
+	if b != nil {
+		copy(dst, b)
+	}
+}
+
+// ReadBytes consumes a length-prefixed byte field, rejecting prefixes
+// larger than maxLen (or MaxBytesLen if maxLen <= 0). It returns a copy.
+func (r *Reader) ReadBytes(maxLen int, what string) []byte {
+	if maxLen <= 0 || maxLen > MaxBytesLen {
+		maxLen = MaxBytesLen
+	}
+	n := r.ReadUint32(what + " length")
+	if r.err != nil {
+		return nil
+	}
+	if int64(n) > int64(maxLen) {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %s length %d > limit %d at offset %d",
+				ErrTooLarge, what, n, maxLen, r.off)
+		}
+		return nil
+	}
+	return r.ReadRaw(int(n), what)
+}
+
+// ReadString consumes a length-prefixed string field capped at
+// MaxStringLen (or maxLen if tighter).
+func (r *Reader) ReadString(maxLen int, what string) string {
+	if maxLen <= 0 || maxLen > MaxStringLen {
+		maxLen = MaxStringLen
+	}
+	return string(r.ReadBytes(maxLen, what))
+}
+
+// ReadCount consumes a uint32 element count, rejecting values above max
+// (or MaxCount if max <= 0).
+func (r *Reader) ReadCount(max int, what string) int {
+	if max <= 0 || max > MaxCount {
+		max = MaxCount
+	}
+	n := r.ReadUint32(what)
+	if r.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		r.err = fmt.Errorf("%w: %s count %d > limit %d at offset %d",
+			ErrTooLarge, what, n, max, r.off)
+		return 0
+	}
+	return int(n)
+}
+
+// Finish verifies the input was consumed exactly and returns the first
+// error, if any. Trailing garbage after a structure is treated as
+// corruption: an attacker must not be able to smuggle bytes past the
+// authenticated region.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after structure", ErrCorrupt, r.Remaining())
+	}
+	return nil
+}

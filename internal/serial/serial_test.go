@@ -1,0 +1,189 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter(64)
+	w.WriteUint8(0xab)
+	w.WriteUint16(0xbeef)
+	w.WriteUint32(0xdeadbeef)
+	w.WriteUint64(math.MaxUint64 - 7)
+	w.WriteBool(true)
+	w.WriteBool(false)
+	w.WriteRaw([]byte{1, 2, 3})
+	w.WriteBytes([]byte("payload"))
+	w.WriteString("a name")
+
+	r := NewReader(w.Bytes())
+	if got := r.ReadUint8("u8"); got != 0xab {
+		t.Errorf("u8 = %#x", got)
+	}
+	if got := r.ReadUint16("u16"); got != 0xbeef {
+		t.Errorf("u16 = %#x", got)
+	}
+	if got := r.ReadUint32("u32"); got != 0xdeadbeef {
+		t.Errorf("u32 = %#x", got)
+	}
+	if got := r.ReadUint64("u64"); got != math.MaxUint64-7 {
+		t.Errorf("u64 = %#x", got)
+	}
+	if !r.ReadBool("b1") || r.ReadBool("b2") {
+		t.Error("bool round trip failed")
+	}
+	if got := r.ReadRaw(3, "raw"); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("raw = %v", got)
+	}
+	if got := r.ReadBytes(0, "bytes"); !bytes.Equal(got, []byte("payload")) {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := r.ReadString(0, "str"); got != "a name" {
+		t.Errorf("str = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBytes([]byte("0123456789"))
+	enc := w.Bytes()
+
+	// Every strict prefix of the encoding must fail to decode.
+	for cut := 0; cut < len(enc); cut++ {
+		r := NewReader(enc[:cut])
+		r.ReadBytes(0, "field")
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("truncation error = %v, want ErrCorrupt", r.Err())
+		}
+	}
+}
+
+func TestLengthLimitEnforced(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBytes(bytes.Repeat([]byte{9}, 100))
+	r := NewReader(w.Bytes())
+	r.ReadBytes(99, "field")
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Fatalf("over-limit length error = %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestHugeLengthPrefixRejectedWithoutAllocation(t *testing.T) {
+	// A 4 GiB length prefix over a 4-byte body must be rejected by the
+	// limit check, not by attempting the allocation.
+	var enc [8]byte
+	enc[0], enc[1], enc[2], enc[3] = 0xff, 0xff, 0xff, 0xff
+	r := NewReader(enc[:])
+	r.ReadBytes(0, "field")
+	if r.Err() == nil {
+		t.Fatal("4 GiB length prefix accepted")
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteUint32(5000)
+	r := NewReader(w.Bytes())
+	if n := r.ReadCount(4096, "entries"); n != 0 || !errors.Is(r.Err(), ErrTooLarge) {
+		t.Fatalf("ReadCount = %d, err = %v; want 0, ErrTooLarge", n, r.Err())
+	}
+
+	w2 := NewWriter(8)
+	w2.WriteUint32(4096)
+	r2 := NewReader(w2.Bytes())
+	if n := r2.ReadCount(4096, "entries"); n != 4096 || r2.Err() != nil {
+		t.Fatalf("ReadCount = %d, err = %v; want 4096, nil", n, r2.Err())
+	}
+}
+
+func TestStrictBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.ReadBool("flag")
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("bool=2 error = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteUint32(7)
+	enc := append(w.Bytes(), 0x00)
+	r := NewReader(enc)
+	if got := r.ReadUint32("v"); got != 7 {
+		t.Fatalf("value = %d", got)
+	}
+	if err := r.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Finish = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestErrorsAreSticky(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.ReadUint64("first") // fails: only 1 byte
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.ReadUint8("second") // would succeed alone, must stay failed
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, r.Err())
+	}
+}
+
+func TestReadRawReturnsCopy(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	r := NewReader(src)
+	got := r.ReadRaw(4, "raw")
+	got[0] = 0xff
+	if src[0] == 0xff {
+		t.Fatal("ReadRaw aliases the input buffer")
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(payload []byte, s string) bool {
+		if len(s) > MaxStringLen {
+			s = s[:MaxStringLen]
+		}
+		w := NewWriter(len(payload) + len(s) + 8)
+		w.WriteBytes(payload)
+		w.WriteString(s)
+		r := NewReader(w.Bytes())
+		gotB := r.ReadBytes(0, "b")
+		gotS := r.ReadString(0, "s")
+		return r.Finish() == nil && bytes.Equal(gotB, payload) && gotS == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomInputNeverPanics(t *testing.T) {
+	// Feeding arbitrary bytes through a representative decode sequence
+	// must never panic — errors only.
+	f := func(input []byte) bool {
+		r := NewReader(input)
+		_ = r.ReadUint32("a")
+		_ = r.ReadBytes(1024, "b")
+		_ = r.ReadString(64, "c")
+		n := r.ReadCount(128, "n")
+		for i := 0; i < n; i++ {
+			_ = r.ReadUint64("elem")
+		}
+		_ = r.Finish()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package sgx
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"nexus/internal/serial"
+)
+
+// ReportDataSize is the number of caller-chosen bytes bound into a quote
+// (SGX reserves 64 bytes of REPORTDATA; NEXUS uses it to bind an ECDH
+// public key to the enclave, DSN'19 §IV-B1).
+const ReportDataSize = 64
+
+// Quote attests that an enclave with the given measurement, running on a
+// genuine (provisioned) platform, produced ReportData. It corresponds to
+// the output of the Intel Quoting Enclave.
+type Quote struct {
+	// Measurement is the attested enclave's MRENCLAVE.
+	Measurement Measurement
+	// EnclaveName and Version echo the attested image identity (ISV
+	// product identity in real SGX).
+	EnclaveName string
+	Version     uint16
+	// PlatformID names the quoting platform.
+	PlatformID [16]byte
+	// ReportData carries 64 bytes chosen by the attested enclave.
+	ReportData [ReportDataSize]byte
+	// Signature is the platform attestation key's ECDSA signature over
+	// the quote body.
+	Signature []byte
+}
+
+// Encode serializes the quote (including its signature) for in-band
+// transport over the shared storage service.
+func (q *Quote) Encode() []byte {
+	w := serial.NewWriter(192 + len(q.EnclaveName) + len(q.Signature))
+	w.WriteRaw(q.Measurement[:])
+	w.WriteString(q.EnclaveName)
+	w.WriteUint16(q.Version)
+	w.WriteRaw(q.PlatformID[:])
+	w.WriteRaw(q.ReportData[:])
+	w.WriteBytes(q.Signature)
+	return w.Bytes()
+}
+
+// DecodeQuote parses a quote produced by Encode.
+func DecodeQuote(b []byte) (*Quote, error) {
+	r := serial.NewReader(b)
+	q := &Quote{}
+	r.ReadRawInto(q.Measurement[:], "quote measurement")
+	q.EnclaveName = r.ReadString(256, "quote enclave name")
+	q.Version = r.ReadUint16("quote version")
+	r.ReadRawInto(q.PlatformID[:], "quote platform id")
+	r.ReadRawInto(q.ReportData[:], "quote report data")
+	q.Signature = r.ReadBytes(512, "quote signature")
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("sgx: decoding quote: %w", err)
+	}
+	return q, nil
+}
+
+// body serializes the signed portion of the quote.
+func (q *Quote) body() []byte {
+	buf := make([]byte, 0, 128+len(q.EnclaveName))
+	buf = append(buf, "sgx-quote-v1\x00"...)
+	buf = append(buf, q.Measurement[:]...)
+	buf = append(buf, q.EnclaveName...)
+	buf = append(buf, 0)
+	buf = binary.LittleEndian.AppendUint16(buf, q.Version)
+	buf = append(buf, q.PlatformID[:]...)
+	buf = append(buf, q.ReportData[:]...)
+	return buf
+}
+
+// Quote produces a quote over reportData, signed by the platform's
+// attestation key (the simulated Quoting Enclave).
+func (e *Enclave) Quote(reportData []byte) (*Quote, error) {
+	if err := e.checkAlive(); err != nil {
+		return nil, err
+	}
+	if len(reportData) > ReportDataSize {
+		return nil, fmt.Errorf("sgx: report data %d bytes exceeds %d", len(reportData), ReportDataSize)
+	}
+	q := &Quote{
+		Measurement: e.measurement,
+		EnclaveName: e.image.Name,
+		Version:     e.image.Version,
+		PlatformID:  e.platform.id,
+	}
+	copy(q.ReportData[:], reportData)
+	digest := sha256.Sum256(q.body())
+	sig, err := ecdsa.SignASN1(rand.Reader, e.platform.attest, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: signing quote: %w", err)
+	}
+	q.Signature = sig
+	return q, nil
+}
+
+// AttestationService simulates the Intel Attestation Service: it knows
+// the attestation public keys of all provisioned (genuine) platforms,
+// verifies quotes against them, and issues reports signed with its own
+// service key that relying parties can check offline.
+type AttestationService struct {
+	signer *ecdsa.PrivateKey
+
+	mu        sync.RWMutex
+	platforms map[[16]byte]*ecdsa.PublicKey
+}
+
+// NewAttestationService creates a service with a fresh signing key.
+func NewAttestationService() (*AttestationService, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: generating IAS key: %w", err)
+	}
+	return &AttestationService{
+		signer:    key,
+		platforms: make(map[[16]byte]*ecdsa.PublicKey),
+	}, nil
+}
+
+// PublicKey returns the service's verification key in PKIX DER form —
+// the analogue of the Intel-provided report-signing certificate that
+// every NEXUS client embeds.
+func (s *AttestationService) PublicKey() []byte {
+	der, err := x509.MarshalPKIXPublicKey(&s.signer.PublicKey)
+	if err != nil {
+		// Marshalling our own P-256 key cannot fail.
+		panic(fmt.Sprintf("sgx: marshalling IAS key: %v", err))
+	}
+	return der
+}
+
+func (s *AttestationService) provision(id [16]byte, pub *ecdsa.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.platforms[id] = pub
+}
+
+// Revoke removes a platform from the genuine set (modelling TCB
+// revocation); subsequent quotes from it fail verification.
+func (s *AttestationService) Revoke(id [16]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.platforms, id)
+}
+
+// VerificationReport is the IAS's counter-signed statement that a quote
+// was produced by a genuine platform.
+type VerificationReport struct {
+	// Quote is the verified quote body (signature removed: the report's
+	// own signature now vouches for it).
+	Quote Quote
+	// Signature is the service's ECDSA signature over the quote body.
+	Signature []byte
+}
+
+// VerifyQuote checks a quote against the provisioned platforms and, on
+// success, returns a report signed by the service key.
+func (s *AttestationService) VerifyQuote(q *Quote) (*VerificationReport, error) {
+	if q == nil {
+		return nil, fmt.Errorf("%w: nil quote", ErrQuoteInvalid)
+	}
+	s.mu.RLock()
+	pub, ok := s.platforms[q.PlatformID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: platform %x", ErrUnknownPlatform, q.PlatformID[:4])
+	}
+	digest := sha256.Sum256(q.body())
+	if !ecdsa.VerifyASN1(pub, digest[:], q.Signature) {
+		return nil, fmt.Errorf("%w: bad platform signature", ErrQuoteInvalid)
+	}
+	report := &VerificationReport{Quote: *q}
+	report.Quote.Signature = nil
+	sig, err := ecdsa.SignASN1(rand.Reader, s.signer, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: signing verification report: %w", err)
+	}
+	report.Signature = sig
+	return report, nil
+}
+
+// VerifyReport checks a verification report against the service public
+// key (PKIX DER, as returned by PublicKey). Relying parties use this to
+// validate attestations offline, without contacting the service.
+func VerifyReport(servicePublicKey []byte, r *VerificationReport) error {
+	if r == nil {
+		return fmt.Errorf("%w: nil report", ErrQuoteInvalid)
+	}
+	keyAny, err := x509.ParsePKIXPublicKey(servicePublicKey)
+	if err != nil {
+		return fmt.Errorf("sgx: parsing service key: %w", err)
+	}
+	pub, ok := keyAny.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("sgx: service key is %T, want *ecdsa.PublicKey", keyAny)
+	}
+	digest := sha256.Sum256(r.Quote.body())
+	if !ecdsa.VerifyASN1(pub, digest[:], r.Signature) {
+		return fmt.Errorf("%w: bad service signature", ErrQuoteInvalid)
+	}
+	return nil
+}

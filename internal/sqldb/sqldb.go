@@ -1,0 +1,728 @@
+// Package sqldb is an embedded, single-file, page-oriented B+tree store
+// in the style of SQLite, used by the Table II database benchmarks.
+//
+// The paper runs SQLite's db_bench variants over NEXUS (§VII-B). What
+// the filesystem experiences from SQLite is: one database file updated
+// in 4 KiB pages, a rollback journal written and synced before the
+// database file on every transaction commit, batch modes that amortize
+// the journal over many statements, and WAL-less sequential scans. This
+// package reproduces that I/O shape:
+//
+//   - data lives in a single paged file managed by a page cache;
+//   - every transaction commit writes a rollback journal (the original
+//     images of dirtied pages), then the dirty pages; Sync mode flushes
+//     journal and database through the filesystem — two encrypted
+//     re-uploads per commit under NEXUS, hence the paper's ×2+ on
+//     fillseqsync/fillrandsync;
+//   - rows are (key, value) pairs in a B+tree keyed by bytes.
+package sqldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the fixed page size (SQLite's default).
+const PageSize = 4096
+
+// Limits derived from the page layout.
+const (
+	// MaxKeySize and MaxValueSize keep every row inline in one page
+	// (db_bench uses 16-byte keys and 100-byte values).
+	MaxKeySize   = 256
+	MaxValueSize = 1024
+)
+
+// Errors.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("sqldb: key not found")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("sqldb: database closed")
+	// ErrCorrupt reports an unreadable page structure.
+	ErrCorrupt = errors.New("sqldb: corrupt database")
+	// ErrTooLarge reports an oversized key or value.
+	ErrTooLarge = errors.New("sqldb: key or value too large")
+	// ErrNoTxn reports commit/rollback without a transaction.
+	ErrNoTxn = errors.New("sqldb: no transaction in progress")
+)
+
+// node kinds.
+const (
+	leafPage     = 1
+	interiorPage = 2
+)
+
+// page is an in-memory page image.
+type page struct {
+	id    uint32
+	kind  byte
+	dirty bool
+
+	// Leaf pages: sorted rows, and the next-leaf link.
+	keys   [][]byte
+	values [][]byte
+	next   uint32
+
+	// Interior pages: len(children) == len(keys)+1; keys[i] is the
+	// smallest key reachable via children[i+1].
+	children []uint32
+}
+
+// DB is an open database.
+type DB struct {
+	file    DatabaseFile
+	journal JournalFile
+
+	pages    map[uint32]*page // page cache (whole-DB for simplicity)
+	nextPage uint32
+	root     uint32
+
+	inTxn    bool
+	txnDirty map[uint32][]byte // original images for the rollback journal
+	txnSync  bool
+	closed   bool
+}
+
+// DatabaseFile and JournalFile abstract the two files SQLite maintains.
+// fsapi.File satisfies both; the indirection keeps this package free of
+// a direct fsapi dependency for testing.
+type DatabaseFile interface {
+	ReadAt(p []byte, off int64) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Write(p []byte) (int, error)
+	Truncate(size int64) error
+	Size() int64
+	Sync() error
+	Close() error
+}
+
+// JournalFile is the rollback journal.
+type JournalFile = DatabaseFile
+
+// Open initializes or loads a database over the given files. A non-empty
+// ("hot") rollback journal left by a crashed commit is replayed first,
+// restoring the pre-transaction page images — SQLite's crash-recovery
+// behaviour.
+func Open(file DatabaseFile, journal JournalFile) (*DB, error) {
+	db := &DB{
+		file:    file,
+		journal: journal,
+		pages:   make(map[uint32]*page),
+	}
+	if journal.Size() > 0 && file.Size() > 0 {
+		if err := db.rollbackHotJournal(); err != nil {
+			return nil, err
+		}
+	}
+	if file.Size() == 0 {
+		// Fresh database: root is an empty leaf at page 1 (page 0 is the
+		// header).
+		root := &page{id: 1, kind: leafPage, dirty: true}
+		db.pages[1] = root
+		db.root = 1
+		db.nextPage = 2
+		if err := db.writeHeader(); err != nil {
+			return nil, err
+		}
+		if err := db.flushPages(false); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	if err := db.readHeader(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// rollbackHotJournal restores the pre-images recorded in the journal
+// (format: repeated pageID(4) ‖ page image) and invalidates it.
+func (db *DB) rollbackHotJournal() error {
+	size := db.journal.Size()
+	buf := make([]byte, size)
+	if _, err := db.journal.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("%w: reading hot journal: %v", ErrCorrupt, err)
+	}
+	const rec = 4 + PageSize
+	for off := int64(0); off+rec <= size; off += rec {
+		id := binary.LittleEndian.Uint32(buf[off : off+4])
+		img := buf[off+4 : off+rec]
+		if err := db.writeRaw(id, img); err != nil {
+			return fmt.Errorf("replaying hot journal page %d: %w", id, err)
+		}
+	}
+	if err := db.file.Sync(); err != nil {
+		return err
+	}
+	if err := db.journal.Truncate(0); err != nil {
+		return err
+	}
+	return db.journal.Sync()
+}
+
+// header layout (page 0): magic(4) root(4) nextPage(4).
+const dbMagic = 0x53514c31 // "SQL1"
+
+func (db *DB) writeHeader() error {
+	var buf [PageSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], dbMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], db.root)
+	binary.LittleEndian.PutUint32(buf[8:12], db.nextPage)
+	return db.writeRaw(0, buf[:])
+}
+
+func (db *DB) readHeader() error {
+	var buf [PageSize]byte
+	if _, err := db.file.ReadAt(buf[:], 0); err != nil {
+		return fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != dbMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	db.root = binary.LittleEndian.Uint32(buf[4:8])
+	db.nextPage = binary.LittleEndian.Uint32(buf[8:12])
+	if db.root == 0 || db.nextPage <= db.root {
+		return fmt.Errorf("%w: bad header pointers", ErrCorrupt)
+	}
+	return nil
+}
+
+func (db *DB) writeRaw(id uint32, data []byte) error {
+	if _, err := db.file.Seek(int64(id)*PageSize, 0); err != nil {
+		return err
+	}
+	if _, err := db.file.Write(data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encodePage serializes a page into a fixed-size buffer.
+func encodePage(p *page) ([]byte, error) {
+	buf := make([]byte, 0, PageSize)
+	buf = append(buf, p.kind)
+	switch p.kind {
+	case leafPage:
+		buf = binary.LittleEndian.AppendUint32(buf, p.next)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.keys)))
+		for i := range p.keys {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.keys[i])))
+			buf = append(buf, p.keys[i]...)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.values[i])))
+			buf = append(buf, p.values[i]...)
+		}
+	case interiorPage:
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.keys)))
+		for i := range p.keys {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.keys[i])))
+			buf = append(buf, p.keys[i]...)
+		}
+		for _, c := range p.children {
+			buf = binary.LittleEndian.AppendUint32(buf, c)
+		}
+	default:
+		return nil, fmt.Errorf("%w: page kind %d", ErrCorrupt, p.kind)
+	}
+	if len(buf) > PageSize {
+		return nil, fmt.Errorf("%w: page %d overflows (%d bytes)", ErrCorrupt, p.id, len(buf))
+	}
+	out := make([]byte, PageSize)
+	copy(out, buf)
+	return out, nil
+}
+
+func decodePage(id uint32, data []byte) (*page, error) {
+	if len(data) != PageSize {
+		return nil, fmt.Errorf("%w: short page %d", ErrCorrupt, id)
+	}
+	p := &page{id: id, kind: data[0]}
+	off := 1
+	readU16 := func() int {
+		v := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		off += 2
+		return v
+	}
+	switch p.kind {
+	case leafPage:
+		p.next = binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		n := readU16()
+		for i := 0; i < n; i++ {
+			kl := readU16()
+			if off+kl > len(data) {
+				return nil, fmt.Errorf("%w: page %d key overflow", ErrCorrupt, id)
+			}
+			p.keys = append(p.keys, bytes.Clone(data[off:off+kl]))
+			off += kl
+			vl := readU16()
+			if off+vl > len(data) {
+				return nil, fmt.Errorf("%w: page %d value overflow", ErrCorrupt, id)
+			}
+			p.values = append(p.values, bytes.Clone(data[off:off+vl]))
+			off += vl
+		}
+	case interiorPage:
+		n := readU16()
+		for i := 0; i < n; i++ {
+			kl := readU16()
+			if off+kl > len(data) {
+				return nil, fmt.Errorf("%w: page %d key overflow", ErrCorrupt, id)
+			}
+			p.keys = append(p.keys, bytes.Clone(data[off:off+kl]))
+			off += kl
+		}
+		for i := 0; i < n+1; i++ {
+			p.children = append(p.children, binary.LittleEndian.Uint32(data[off:off+4]))
+			off += 4
+		}
+	default:
+		return nil, fmt.Errorf("%w: page %d kind %d", ErrCorrupt, id, p.kind)
+	}
+	return p, nil
+}
+
+// getPage returns the page from cache or disk.
+func (db *DB) getPage(id uint32) (*page, error) {
+	if p, ok := db.pages[id]; ok {
+		return p, nil
+	}
+	buf := make([]byte, PageSize)
+	if _, err := db.file.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("%w: reading page %d: %v", ErrCorrupt, id, err)
+	}
+	p, err := decodePage(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	db.pages[id] = p
+	return p, nil
+}
+
+// touch records the page's pre-image for the journal and marks it dirty.
+func (db *DB) touch(p *page) error {
+	if db.inTxn {
+		if _, ok := db.txnDirty[p.id]; !ok {
+			img, err := encodePageOrZero(p, db)
+			if err != nil {
+				return err
+			}
+			db.txnDirty[p.id] = img
+		}
+	}
+	p.dirty = true
+	return nil
+}
+
+// encodePageOrZero returns the page's current on-disk image (for the
+// journal), or zeroes for fresh pages.
+func encodePageOrZero(p *page, db *DB) ([]byte, error) {
+	buf := make([]byte, PageSize)
+	if int64(p.id+1)*PageSize <= db.file.Size() {
+		if _, err := db.file.ReadAt(buf, int64(p.id)*PageSize); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// allocPage creates a fresh page of the given kind.
+func (db *DB) allocPage(kind byte) *page {
+	p := &page{id: db.nextPage, kind: kind, dirty: true}
+	db.nextPage++
+	db.pages[p.id] = p
+	return p
+}
+
+// --- Transactions ---
+
+// Begin starts a transaction. sync selects durable commits (journal and
+// database flushed through the filesystem).
+func (db *DB) Begin(sync bool) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if db.inTxn {
+		return fmt.Errorf("sqldb: nested transactions are not supported")
+	}
+	db.inTxn = true
+	db.txnSync = sync
+	db.txnDirty = make(map[uint32][]byte)
+	return nil
+}
+
+// Commit writes the rollback journal, then the dirty pages, then (in
+// sync mode) flushes both files — SQLite's rollback-journal commit
+// sequence.
+func (db *DB) Commit() error {
+	if db.closed {
+		return ErrClosed
+	}
+	if !db.inTxn {
+		return ErrNoTxn
+	}
+	db.inTxn = false
+
+	// 1. Journal the pre-images.
+	if len(db.txnDirty) > 0 {
+		if err := db.writeJournal(); err != nil {
+			return err
+		}
+		if db.txnSync {
+			if err := db.journal.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	// 2. Write dirty pages + header.
+	if err := db.writeHeader(); err != nil {
+		return err
+	}
+	if err := db.flushPages(db.txnSync); err != nil {
+		return err
+	}
+	// 3. Invalidate the journal (truncate).
+	if err := db.journal.Truncate(0); err != nil {
+		return err
+	}
+	if db.txnSync {
+		if err := db.journal.Sync(); err != nil {
+			return err
+		}
+	}
+	db.txnDirty = nil
+	return nil
+}
+
+// Rollback restores the journaled pre-images, discarding the
+// transaction's changes.
+func (db *DB) Rollback() error {
+	if !db.inTxn {
+		return ErrNoTxn
+	}
+	db.inTxn = false
+	for id, img := range db.txnDirty {
+		restored, err := decodePage(id, img)
+		if err != nil {
+			// A zero pre-image means the page did not exist: drop it.
+			delete(db.pages, id)
+			continue
+		}
+		db.pages[id] = restored
+	}
+	// Reload the header from disk to restore root/nextPage.
+	if err := db.readHeader(); err != nil {
+		return err
+	}
+	db.txnDirty = nil
+	return nil
+}
+
+func (db *DB) writeJournal() error {
+	ids := make([]uint32, 0, len(db.txnDirty))
+	for id := range db.txnDirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, (len(ids)+1)*(PageSize+4))
+	// The header's pre-image is journaled too: a torn commit may have
+	// updated the root pointer before crashing.
+	header := make([]byte, PageSize)
+	if db.file.Size() >= PageSize {
+		if _, err := db.file.ReadAt(header, 0); err != nil {
+			return err
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = append(buf, header...)
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+		buf = append(buf, db.txnDirty[id]...)
+	}
+	if err := db.journal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := db.journal.Seek(0, 0); err != nil {
+		return err
+	}
+	if _, err := db.journal.Write(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (db *DB) flushPages(sync bool) error {
+	ids := make([]uint32, 0, len(db.pages))
+	for id, p := range db.pages {
+		if p.dirty {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := db.pages[id]
+		img, err := encodePage(p)
+		if err != nil {
+			return err
+		}
+		if err := db.writeRaw(id, img); err != nil {
+			return err
+		}
+		p.dirty = false
+	}
+	if sync {
+		return db.file.Sync()
+	}
+	return nil
+}
+
+// --- B+tree operations ---
+
+// maxInteriorKeys bounds interior occupancy conservatively so encoded
+// pages always fit even with maximum-size keys.
+const maxInteriorKeys = (PageSize - 16) / (2 + MaxKeySize + 4)
+
+// Put inserts or replaces a row inside the current transaction (or as
+// an autocommit transaction when none is open).
+func (db *DB) Put(key, value []byte) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if len(key) == 0 || len(key) > MaxKeySize || len(value) > MaxValueSize {
+		return fmt.Errorf("%w: key %d bytes, value %d bytes", ErrTooLarge, len(key), len(value))
+	}
+	auto := !db.inTxn
+	if auto {
+		if err := db.Begin(false); err != nil {
+			return err
+		}
+	}
+	if err := db.insert(key, value); err != nil {
+		return err
+	}
+	if auto {
+		return db.Commit()
+	}
+	return nil
+}
+
+func (db *DB) insert(key, value []byte) error {
+	root, err := db.getPage(db.root)
+	if err != nil {
+		return err
+	}
+	split, err := db.insertInto(root, key, value)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Root split: new interior root.
+		newRoot := db.allocPage(interiorPage)
+		newRoot.keys = [][]byte{split.key}
+		newRoot.children = []uint32{db.root, split.right}
+		if err := db.touch(newRoot); err != nil {
+			return err
+		}
+		db.root = newRoot.id
+	}
+	return nil
+}
+
+// splitResult propagates a split up the tree.
+type splitResult struct {
+	key   []byte // smallest key in the right sibling
+	right uint32
+}
+
+func (db *DB) insertInto(p *page, key, value []byte) (*splitResult, error) {
+	switch p.kind {
+	case leafPage:
+		if err := db.touch(p); err != nil {
+			return nil, err
+		}
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) >= 0 })
+		if i < len(p.keys) && bytes.Equal(p.keys[i], key) {
+			p.values[i] = bytes.Clone(value)
+			return nil, nil
+		}
+		p.keys = append(p.keys, nil)
+		copy(p.keys[i+1:], p.keys[i:])
+		p.keys[i] = bytes.Clone(key)
+		p.values = append(p.values, nil)
+		copy(p.values[i+1:], p.values[i:])
+		p.values[i] = bytes.Clone(value)
+
+		if db.leafOverflows(p) {
+			return db.splitLeaf(p)
+		}
+		return nil, nil
+
+	case interiorPage:
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) > 0 })
+		child, err := db.getPage(p.children[i])
+		if err != nil {
+			return nil, err
+		}
+		split, err := db.insertInto(child, key, value)
+		if err != nil || split == nil {
+			return nil, err
+		}
+		if err := db.touch(p); err != nil {
+			return nil, err
+		}
+		p.keys = append(p.keys, nil)
+		copy(p.keys[i+1:], p.keys[i:])
+		p.keys[i] = split.key
+		p.children = append(p.children, 0)
+		copy(p.children[i+2:], p.children[i+1:])
+		p.children[i+1] = split.right
+		if len(p.keys) > maxInteriorKeys || db.interiorOverflows(p) {
+			return db.splitInterior(p)
+		}
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("%w: page %d kind %d", ErrCorrupt, p.id, p.kind)
+	}
+}
+
+func (db *DB) leafOverflows(p *page) bool {
+	size := 1 + 4 + 2
+	for i := range p.keys {
+		size += 4 + len(p.keys[i]) + len(p.values[i])
+	}
+	return size > PageSize
+}
+
+func (db *DB) interiorOverflows(p *page) bool {
+	size := 1 + 2
+	for i := range p.keys {
+		size += 2 + len(p.keys[i])
+	}
+	size += 4 * len(p.children)
+	return size > PageSize
+}
+
+func (db *DB) splitLeaf(p *page) (*splitResult, error) {
+	mid := len(p.keys) / 2
+	right := db.allocPage(leafPage)
+	right.keys = append(right.keys, p.keys[mid:]...)
+	right.values = append(right.values, p.values[mid:]...)
+	right.next = p.next
+	p.keys = p.keys[:mid]
+	p.values = p.values[:mid]
+	p.next = right.id
+	if err := db.touch(right); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: bytes.Clone(right.keys[0]), right: right.id}, nil
+}
+
+func (db *DB) splitInterior(p *page) (*splitResult, error) {
+	mid := len(p.keys) / 2
+	upKey := p.keys[mid]
+	right := db.allocPage(interiorPage)
+	right.keys = append(right.keys, p.keys[mid+1:]...)
+	right.children = append(right.children, p.children[mid+1:]...)
+	p.keys = p.keys[:mid]
+	p.children = p.children[:mid+1]
+	if err := db.touch(right); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: bytes.Clone(upKey), right: right.id}, nil
+}
+
+// Get returns the value for key.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	leaf, err := db.findLeaf(key)
+	if err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		return bytes.Clone(leaf.values[i]), nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+}
+
+func (db *DB) findLeaf(key []byte) (*page, error) {
+	p, err := db.getPage(db.root)
+	if err != nil {
+		return nil, err
+	}
+	for p.kind == interiorPage {
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) > 0 })
+		p, err = db.getPage(p.children[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Scan calls fn for every row in key order until fn returns false.
+func (db *DB) Scan(fn func(key, value []byte) bool) error {
+	if db.closed {
+		return ErrClosed
+	}
+	p, err := db.getPage(db.root)
+	if err != nil {
+		return err
+	}
+	for p.kind == interiorPage {
+		p, err = db.getPage(p.children[0])
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		for i := range p.keys {
+			if !fn(p.keys[i], p.values[i]) {
+				return nil
+			}
+		}
+		if p.next == 0 {
+			return nil
+		}
+		p, err = db.getPage(p.next)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Count returns the number of rows.
+func (db *DB) Count() (int, error) {
+	n := 0
+	err := db.Scan(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Close flushes outstanding state and closes both files.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	if db.inTxn {
+		if err := db.Commit(); err != nil {
+			return err
+		}
+	}
+	if err := db.writeHeader(); err != nil {
+		return err
+	}
+	if err := db.flushPages(true); err != nil {
+		return err
+	}
+	db.closed = true
+	if err := db.journal.Close(); err != nil {
+		return err
+	}
+	return db.file.Close()
+}

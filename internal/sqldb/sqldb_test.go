@@ -1,0 +1,330 @@
+package sqldb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nexus/internal/backend"
+	"nexus/internal/fsapi"
+	"nexus/internal/plainfs"
+)
+
+func newDB(t *testing.T) (*DB, fsapi.FileSystem) {
+	t.Helper()
+	fs := plainfs.New(backend.NewMemStore())
+	db := openAt(t, fs)
+	t.Cleanup(func() { _ = db.Close() })
+	return db, fs
+}
+
+func openAt(t *testing.T, fs fsapi.FileSystem) *DB {
+	t.Helper()
+	file, err := fs.Open("/test.db", fsapi.O_RDWR|fsapi.O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := fs.Open("/test.db-journal", fsapi.O_RDWR|fsapi.O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(file, journal)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestPutGetOverwrite(t *testing.T) {
+	db, _ := newDB(t)
+	if err := db.Put([]byte("key1"), []byte("value1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("key1"))
+	if err != nil || string(got) != "value1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := db.Put([]byte("key1"), []byte("value2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = db.Get([]byte("key1"))
+	if err != nil || string(got) != "value2" {
+		t.Fatalf("Get after overwrite = %q, %v", got, err)
+	}
+	if _, err := db.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v", err)
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	db, _ := newDB(t)
+	if err := db.Put(nil, []byte("v")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("empty key = %v", err)
+	}
+	if err := db.Put(make([]byte, MaxKeySize+1), nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized key = %v", err)
+	}
+	if err := db.Put([]byte("k"), make([]byte, MaxValueSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized value = %v", err)
+	}
+	// Max sizes are accepted.
+	if err := db.Put(make([]byte, MaxKeySize), make([]byte, MaxValueSize)); err != nil {
+		t.Fatalf("max-size row rejected: %v", err)
+	}
+}
+
+func TestBTreeSplitsAndOrderedScan(t *testing.T) {
+	db, _ := newDB(t)
+	// Enough rows to force multiple leaf and interior splits.
+	const n = 5000
+	if err := db.Begin(false); err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		key := fmt.Sprintf("key%06d", i)
+		if err := db.Put([]byte(key), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put(%s): %v", key, err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	count, err := db.Count()
+	if err != nil || count != n {
+		t.Fatalf("Count = %d, %v", count, err)
+	}
+	// Scan yields sorted order and correct pairs.
+	var prev []byte
+	rows := 0
+	err = db.Scan(func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = bytes.Clone(k)
+		rows++
+		return true
+	})
+	if err != nil || rows != n {
+		t.Fatalf("Scan rows = %d, %v", rows, err)
+	}
+	// Random point reads.
+	for i := 0; i < 100; i++ {
+		j := perm[i]
+		got, err := db.Get([]byte(fmt.Sprintf("key%06d", j)))
+		if err != nil || string(got) != fmt.Sprintf("v%d", j) {
+			t.Fatalf("Get = %q, %v", got, err)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	db := openAt(t, fs)
+	if err := db.Begin(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openAt(t, fs)
+	defer db2.Close()
+	count, err := db2.Count()
+	if err != nil || count != 500 {
+		t.Fatalf("Count after reopen = %d, %v", count, err)
+	}
+	got, err := db2.Get([]byte("k0250"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+}
+
+func TestRollbackRestoresState(t *testing.T) {
+	db, _ := newDB(t)
+	if err := db.Put([]byte("stable"), []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Begin(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("stable"), []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("new"), []byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rollback(); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	got, err := db.Get([]byte("stable"))
+	if err != nil || string(got) != "before" {
+		t.Fatalf("Get after rollback = %q, %v", got, err)
+	}
+	if _, err := db.Get([]byte("new")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rolled-back row visible: %v", err)
+	}
+	// A new transaction works after rollback.
+	if err := db.Put([]byte("after"), []byte("ok")); err != nil {
+		t.Fatalf("Put after rollback: %v", err)
+	}
+}
+
+func TestTransactionStateErrors(t *testing.T) {
+	db, _ := newDB(t)
+	if err := db.Commit(); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("Commit without txn = %v", err)
+	}
+	if err := db.Rollback(); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("Rollback without txn = %v", err)
+	}
+	if err := db.Begin(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Begin(false); err == nil {
+		t.Fatal("nested Begin accepted")
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCommitWritesOnce(t *testing.T) {
+	// Batch mode (fillseqbatch) must not write the journal per row.
+	fs := plainfs.New(backend.NewMemStore())
+	db := openAt(t, fs)
+	defer db.Close()
+
+	if err := db.Begin(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), bytes.Repeat([]byte{1}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	count, err := db.Count()
+	if err != nil || count != 1000 {
+		t.Fatalf("Count = %d, %v", count, err)
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	db, _ := newDB(t)
+	ref := make(map[string]string)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("k%03d", rng.Intn(500))
+		val := fmt.Sprintf("v%d", i)
+		if err := db.Put([]byte(key), []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		ref[key] = val
+	}
+	for key, want := range ref {
+		got, err := db.Get([]byte(key))
+		if err != nil || string(got) != want {
+			t.Fatalf("Get(%s) = %q, %v; want %q", key, got, err, want)
+		}
+	}
+	count, err := db.Count()
+	if err != nil || count != len(ref) {
+		t.Fatalf("Count = %d, want %d", count, len(ref))
+	}
+}
+
+func TestHotJournalRecovery(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	db := openAt(t, fs)
+
+	// Committed base state.
+	if err := db.Begin(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("base%03d", i)), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A transaction that "crashes" mid-commit: the journal holds the
+	// pre-images and SOME dirty pages reach the database file, but the
+	// commit never completes (journal never invalidated).
+	if err := db.Begin(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("base%03d", i)), []byte("TORN")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.writeJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.journal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Partially flush: header + all dirty pages (the worst case).
+	if err := db.writeHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.flushPages(true); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no journal truncation, no Close.
+
+	// Reopen: the hot journal must roll the torn transaction back.
+	db2 := openAt(t, fs)
+	defer db2.Close()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("base%03d", i)
+		got, err := db2.Get([]byte(key))
+		if err != nil {
+			t.Fatalf("Get(%s) after recovery: %v", key, err)
+		}
+		if string(got) != "v1" {
+			t.Fatalf("Get(%s) = %q, want the pre-crash value v1", key, got)
+		}
+	}
+	count, err := db2.Count()
+	if err != nil || count != 50 {
+		t.Fatalf("Count after recovery = %d, %v", count, err)
+	}
+	// The database remains writable after recovery.
+	if err := db2.Put([]byte("after"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedDB(t *testing.T) {
+	db, _ := newDB(t)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package uuid
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsUnique(t *testing.T) {
+	seen := make(map[UUID]bool, 1024)
+	for i := 0; i < 1024; i++ {
+		u := New()
+		if u.IsNil() {
+			t.Fatal("New returned the nil UUID")
+		}
+		if seen[u] {
+			t.Fatalf("duplicate UUID generated: %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	u := New()
+	s := u.String()
+	if len(s) != 32 {
+		t.Fatalf("String() length = %d, want 32", len(s))
+	}
+	if s != strings.ToLower(s) {
+		t.Fatalf("String() not lower-case: %q", s)
+	}
+	got, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	if got != u {
+		t.Fatalf("round trip mismatch: %s != %s", got, u)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"abc",
+		strings.Repeat("g", 32),            // non-hex
+		strings.Repeat("a", 31),            // short
+		strings.Repeat("a", 33),            // long
+		strings.Repeat("a", 30) + "zz",     // bad tail
+		"0123456789abcdef0123456789abcde ", // trailing space
+		"0X123456789abcdef0123456789abcde", // prefix junk
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); !errors.Is(err, ErrMalformed) {
+			t.Errorf("Parse(%q) error = %v, want ErrMalformed", c, err)
+		}
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	raw := bytes.Repeat([]byte{0xab}, Size)
+	u, err := FromBytes(raw)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if !bytes.Equal(u.Bytes(), raw) {
+		t.Fatal("FromBytes did not preserve contents")
+	}
+	if _, err := FromBytes(raw[:Size-1]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short FromBytes error = %v, want ErrMalformed", err)
+	}
+	if _, err := FromBytes(append(raw, 0)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("long FromBytes error = %v, want ErrMalformed", err)
+	}
+}
+
+func TestBytesIsACopy(t *testing.T) {
+	u := New()
+	b := u.Bytes()
+	b[0] ^= 0xff
+	if bytes.Equal(b, u[:]) {
+		t.Fatal("Bytes() aliases the UUID's storage")
+	}
+}
+
+func TestNewFromDeterministic(t *testing.T) {
+	src := bytes.NewReader(bytes.Repeat([]byte{7}, Size))
+	u, err := NewFrom(src)
+	if err != nil {
+		t.Fatalf("NewFrom: %v", err)
+	}
+	want := strings.Repeat("07", Size)
+	if u.String() != want {
+		t.Fatalf("NewFrom = %s, want %s", u, want)
+	}
+	if _, err := NewFrom(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("NewFrom with short reader succeeded, want error")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw [Size]byte) bool {
+		u := UUID(raw)
+		parsed, err := Parse(u.String())
+		return err == nil && parsed == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

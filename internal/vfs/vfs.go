@@ -1,0 +1,462 @@
+// Package vfs is the untrusted portion of NEXUS: the filesystem facade
+// that user applications (and this repository's database engines,
+// workload generators, and Linux-utility reimplementations) program
+// against.
+//
+// It corresponds to the prototype's userspace daemon and shim layer
+// (DSN'19 §V): requests are forwarded into the enclave through the
+// filesystem API of Table I, and the enclave's storage I/O flows back
+// out through the ObjectStore ocall surface. The facade adds the
+// conveniences a POSIX-ish consumer expects — MkdirAll, RemoveAll,
+// WriteFile-with-create — and open-to-close file handles matching AFS
+// semantics: a file is fetched and decrypted at open, operated on
+// locally, and re-encrypted and stored at close.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"nexus/internal/acl"
+	"nexus/internal/backend"
+	"nexus/internal/enclave"
+	"nexus/internal/metadata"
+)
+
+// VersionedStore adapts a plain backend.Store to the enclave's versioned
+// ObjectStore ocall surface by tracking update counters locally. The AFS
+// client implements the surface natively (versions come from the
+// server); this adapter covers local directory and in-memory volumes.
+type VersionedStore struct {
+	store backend.Store
+
+	mu       sync.Mutex
+	versions map[string]uint64
+}
+
+var _ enclave.ObjectStore = (*VersionedStore)(nil)
+
+// NewVersionedStore wraps store.
+func NewVersionedStore(store backend.Store) *VersionedStore {
+	return &VersionedStore{store: store, versions: make(map[string]uint64)}
+}
+
+// GetVersioned implements enclave.ObjectStore.
+func (s *VersionedStore) GetVersioned(name string) ([]byte, uint64, error) {
+	data, err := s.store.Get(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	v := s.versions[name]
+	s.mu.Unlock()
+	return data, v, nil
+}
+
+// PutVersioned implements enclave.ObjectStore.
+func (s *VersionedStore) PutVersioned(name string, data []byte) (uint64, error) {
+	if err := s.store.Put(name, data); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.versions[name]++
+	v := s.versions[name]
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Delete implements enclave.ObjectStore.
+func (s *VersionedStore) Delete(name string) error { return s.store.Delete(name) }
+
+// Lock implements enclave.ObjectStore.
+func (s *VersionedStore) Lock(name string) (func(), error) { return s.store.Lock(name) }
+
+// DirEntry is a directory listing entry.
+type DirEntry struct {
+	Name string
+	// IsDir reports directories; Symlink entries report their target.
+	IsDir         bool
+	IsSymlink     bool
+	SymlinkTarget string
+	Size          uint64
+}
+
+// FS is the user-facing filesystem over a mounted NEXUS volume.
+type FS struct {
+	e *enclave.Enclave
+}
+
+// New wraps a mounted, authenticated enclave.
+func New(e *enclave.Enclave) *FS { return &FS{e: e} }
+
+// Enclave exposes the underlying enclave for administrative operations
+// (user and ACL management) and statistics.
+func (fs *FS) Enclave() *enclave.Enclave { return fs.e }
+
+// Mkdir creates one directory; the parent must exist.
+func (fs *FS) Mkdir(p string) error { return fs.e.Mkdir(p) }
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FS) MkdirAll(p string) error {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.Trim(p, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur = cur + "/" + part
+		err := fs.e.Mkdir(cur)
+		if err != nil && !errors.Is(err, enclave.ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Touch creates an empty file; the parent directory must exist.
+func (fs *FS) Touch(p string) error { return fs.e.Touch(p) }
+
+// WriteFile writes data to the file at p, creating it if necessary.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	err := fs.e.WriteFile(p, data)
+	if errors.Is(err, enclave.ErrNotFound) {
+		if err := fs.e.Touch(p); err != nil && !errors.Is(err, enclave.ErrExists) {
+			return err
+		}
+		return fs.e.WriteFile(p, data)
+	}
+	return err
+}
+
+// ReadFile returns the file's contents.
+func (fs *FS) ReadFile(p string) ([]byte, error) { return fs.e.ReadFile(p) }
+
+// Remove deletes a file, symlink, or empty directory.
+func (fs *FS) Remove(p string) error { return fs.e.Remove(p) }
+
+// RemoveAll deletes p and, for directories, everything beneath it. A
+// missing path is not an error.
+func (fs *FS) RemoveAll(p string) error {
+	st, err := fs.e.Lookup(p)
+	if errors.Is(err, enclave.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if st.Kind == metadata.KindDir {
+		entries, err := fs.e.Filldir(p)
+		if err != nil {
+			return err
+		}
+		for _, entry := range entries {
+			if err := fs.RemoveAll(path.Join(p, entry.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return fs.e.Remove(p)
+}
+
+// Rename moves a file or directory; existing files at the destination
+// are replaced.
+func (fs *FS) Rename(oldPath, newPath string) error { return fs.e.Rename(oldPath, newPath) }
+
+// Symlink creates a symbolic link.
+func (fs *FS) Symlink(target, linkPath string) error { return fs.e.Symlink(target, linkPath) }
+
+// Hardlink creates an additional name for an existing file.
+func (fs *FS) Hardlink(existing, newPath string) error { return fs.e.Hardlink(existing, newPath) }
+
+// Stat describes the entry at p.
+func (fs *FS) Stat(p string) (DirEntry, error) {
+	st, err := fs.e.Lookup(p)
+	if err != nil {
+		return DirEntry{}, err
+	}
+	return DirEntry{
+		Name:          st.Name,
+		IsDir:         st.Kind == metadata.KindDir,
+		IsSymlink:     st.Kind == metadata.KindSymlink,
+		SymlinkTarget: st.SymlinkTarget,
+		Size:          st.Size,
+	}, nil
+}
+
+// Exists reports whether p names an entry.
+func (fs *FS) Exists(p string) (bool, error) {
+	_, err := fs.e.Lookup(p)
+	if errors.Is(err, enclave.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ReadDir lists a directory, sorted by name. Sizes are not populated
+// (they require a filenode fetch per file; use Stat for one file).
+func (fs *FS) ReadDir(p string) ([]DirEntry, error) {
+	stats, err := fs.e.Filldir(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, DirEntry{
+			Name:          st.Name,
+			IsDir:         st.Kind == metadata.KindDir,
+			IsSymlink:     st.Kind == metadata.KindSymlink,
+			SymlinkTarget: st.SymlinkTarget,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Walk calls fn for every entry under root (depth-first, lexical order),
+// with the entry's full path. fn may return ErrSkipDir for directories.
+func (fs *FS) Walk(root string, fn func(p string, entry DirEntry) error) error {
+	st, err := fs.Stat(root)
+	if err != nil {
+		return err
+	}
+	if err := fn(path.Clean("/"+root), st); err != nil {
+		if errors.Is(err, ErrSkipDir) && st.IsDir {
+			return nil
+		}
+		return err
+	}
+	if !st.IsDir {
+		return nil
+	}
+	entries, err := fs.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, entry := range entries {
+		child := path.Join(root, entry.Name)
+		if entry.IsDir {
+			if err := fs.Walk(child, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		childStat, err := fs.Stat(child)
+		if err != nil {
+			return err
+		}
+		if err := fn(path.Clean("/"+child), childStat); err != nil {
+			if errors.Is(err, ErrSkipDir) {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrSkipDir tells Walk to skip a directory's contents.
+var ErrSkipDir = errors.New("vfs: skip directory")
+
+// SetACL grants rights to a user on a directory (acl.None revokes).
+func (fs *FS) SetACL(dirPath, userName string, rights acl.Rights) error {
+	return fs.e.SetACL(dirPath, userName, rights)
+}
+
+// GetACL returns a directory's ACL keyed by username.
+func (fs *FS) GetACL(dirPath string) (map[string]acl.Rights, error) {
+	return fs.e.GetACL(dirPath)
+}
+
+// Open flags, mirroring the os package subset the handle supports.
+const (
+	O_RDONLY = 0x0
+	O_RDWR   = 0x2
+	O_CREATE = 0x40
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+)
+
+// File is an open-to-close file handle: contents are fetched and
+// decrypted once at Open, all reads and writes are local, and dirty
+// contents are re-encrypted and stored at Close (or Sync) — exactly the
+// session semantics AFS gives the prototype (§VII-A).
+type File struct {
+	fs    *FS
+	path  string
+	flags int
+
+	mu    sync.Mutex
+	buf   []byte
+	pos   int64
+	dirty bool
+	open  bool
+}
+
+// Open opens the file at p.
+func (fs *FS) Open(p string, flags int) (*File, error) {
+	f := &File{fs: fs, path: p, flags: flags, open: true}
+	data, err := fs.e.ReadFile(p)
+	switch {
+	case err == nil:
+		if flags&O_TRUNC == 0 {
+			f.buf = data
+		} else {
+			f.dirty = true
+		}
+	case errors.Is(err, enclave.ErrNotFound) && flags&O_CREATE != 0:
+		if err := fs.e.Touch(p); err != nil && !errors.Is(err, enclave.ErrExists) {
+			return nil, err
+		}
+		f.dirty = true
+	default:
+		return nil, err
+	}
+	if flags&O_APPEND != 0 {
+		f.pos = int64(len(f.buf))
+	}
+	return f, nil
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.open {
+		return 0, fmt.Errorf("vfs: read of closed file %s", f.path)
+	}
+	if f.pos >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.open {
+		return 0, fmt.Errorf("vfs: read of closed file %s", f.path)
+	}
+	if off < 0 || off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Write implements io.Writer.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.open {
+		return 0, fmt.Errorf("vfs: write to closed file %s", f.path)
+	}
+	if f.flags&O_RDWR == 0 && f.flags&O_APPEND == 0 {
+		return 0, fmt.Errorf("vfs: file %s not open for writing", f.path)
+	}
+	end := f.pos + int64(len(p))
+	if end > int64(len(f.buf)) {
+		grown := make([]byte, end)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	copy(f.buf[f.pos:end], p)
+	f.pos = end
+	f.dirty = true
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.buf))
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("vfs: negative seek position")
+	}
+	f.pos = pos
+	return pos, nil
+}
+
+// Truncate resizes the buffered contents.
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("vfs: negative truncate size")
+	}
+	switch {
+	case size < int64(len(f.buf)):
+		f.buf = f.buf[:size]
+	case size > int64(len(f.buf)):
+		grown := make([]byte, size)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	f.dirty = true
+	return nil
+}
+
+// Size returns the buffered length.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.buf))
+}
+
+// Sync encrypts and uploads dirty contents without closing the handle
+// (fsync; the file's chunks are re-keyed, §VI-A).
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncLocked()
+}
+
+func (f *File) syncLocked() error {
+	if !f.dirty {
+		return nil
+	}
+	if err := f.fs.e.WriteFile(f.path, f.buf); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// Close flushes dirty contents and invalidates the handle.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.open {
+		return nil
+	}
+	err := f.syncLocked()
+	f.open = false
+	f.buf = nil
+	return err
+}

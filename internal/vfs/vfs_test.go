@@ -1,0 +1,329 @@
+package vfs
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"nexus/internal/backend"
+	"nexus/internal/enclave"
+	"nexus/internal/sgx"
+)
+
+// newTestFS builds a mounted FS over a memory store.
+func newTestFS(t *testing.T) *FS {
+	t.Helper()
+	platform, err := sgx.NewPlatform(sgx.PlatformConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	container, err := platform.CreateEnclave(sgx.Image{Name: "nexus-enclave", Version: 1, Code: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewVersionedStore(backend.NewMemStore())
+	encl, err := enclave.New(enclave.Config{SGX: container, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := encl.CreateVolume("owner", pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volID, err := encl.VolumeUUID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, blob, err := encl.BeginAuth(pub, sealed, volID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := append(append([]byte(nil), nonce...), blob...)
+	if err := encl.CompleteAuth(ed25519.Sign(priv, msg)); err != nil {
+		t.Fatal(err)
+	}
+	return New(encl)
+}
+
+func TestVersionedStoreVersions(t *testing.T) {
+	s := NewVersionedStore(backend.NewMemStore())
+	if _, err := s.PutVersioned("a", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	_, v1, err := s.GetVersioned("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutVersioned("a", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	_, v2, err := s.GetVersioned("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("version did not increase: %d then %d", v1, v2)
+	}
+}
+
+func TestMkdirAllAndRemoveAll(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkdirAll("/a/b/c/d"); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	// Idempotent.
+	if err := fs.MkdirAll("/a/b/c/d"); err != nil {
+		t.Fatalf("MkdirAll twice: %v", err)
+	}
+	if err := fs.WriteFile("/a/b/c/d/f1", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/x", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.RemoveAll("/a"); err != nil {
+		t.Fatalf("RemoveAll: %v", err)
+	}
+	if ok, err := fs.Exists("/a"); err != nil || ok {
+		t.Fatalf("Exists(/a) after RemoveAll = %v, %v", ok, err)
+	}
+	// Missing path is not an error.
+	if err := fs.RemoveAll("/a"); err != nil {
+		t.Fatalf("RemoveAll(missing): %v", err)
+	}
+}
+
+func TestWriteFileCreates(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.WriteFile("/new.txt", []byte("created")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := fs.ReadFile("/new.txt")
+	if err != nil || string(got) != "created" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := fs.WriteFile("/new.txt", []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.ReadFile("/new.txt")
+	if err != nil || string(got) != "replaced" {
+		t.Fatalf("ReadFile after overwrite = %q, %v", got, err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := newTestFS(t)
+	for _, p := range []string{"/w/a", "/w/b/c"} {
+		if err := fs.MkdirAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []string{"/w/f1", "/w/a/f2", "/w/b/c/f3"} {
+		if err := fs.WriteFile(f, []byte(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	err := fs.Walk("/w", func(p string, entry DirEntry) error {
+		visited = append(visited, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	want := []string{"/w", "/w/a", "/w/a/f2", "/w/b", "/w/b/c", "/w/b/c/f3", "/w/f1"}
+	if len(visited) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestFileHandleReadWrite(t *testing.T) {
+	fs := newTestFS(t)
+	f, err := fs.Open("/file", O_RDWR|O_CREATE)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen and read.
+	f, err = fs.Open("/file", O_RDONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	// Seek and partial read.
+	if _, err := f.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if n, err := f.Read(buf); err != nil || n != 5 || string(buf) != "world" {
+		t.Fatalf("Read after Seek = %q, %d, %v", buf, n, err)
+	}
+	if _, err := f.Read(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("Read at EOF = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileHandleOpenSemantics(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.WriteFile("/f", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+
+	// O_TRUNC discards contents.
+	f, err := fs.Open("/f", O_RDWR|O_TRUNC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("Size after O_TRUNC = %d", f.Size())
+	}
+	if _, err := f.Write([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// O_APPEND starts at EOF.
+	f, err = fs.Open("/f", O_RDWR|O_APPEND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil || string(got) != "new+more" {
+		t.Fatalf("after append = %q, %v", got, err)
+	}
+
+	// Missing file without O_CREATE.
+	if _, err := fs.Open("/missing", O_RDONLY); !errors.Is(err, enclave.ErrNotFound) {
+		t.Fatalf("Open missing = %v", err)
+	}
+	// Read-only handle rejects writes.
+	f, err = fs.Open("/f", O_RDONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write on O_RDONLY handle accepted")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileHandleSyncVisibility(t *testing.T) {
+	fs := newTestFS(t)
+	f, err := fs.Open("/db.log", O_RDWR|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("record1")); err != nil {
+		t.Fatal(err)
+	}
+	// Before Sync the store holds the old (empty) contents.
+	got, err := fs.ReadFile("/db.log")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("pre-sync read = %q, %v", got, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.ReadFile("/db.log")
+	if err != nil || string(got) != "record1" {
+		t.Fatalf("post-sync read = %q, %v", got, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileHandleTruncateAndReadAt(t *testing.T) {
+	fs := newTestFS(t)
+	f, err := fs.Open("/f", O_RDWR|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 4 {
+		t.Fatalf("Size after truncate = %d", f.Size())
+	}
+	if err := f.Truncate(8); err != nil { // zero-extend
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{'2', '3', 0, 0}) {
+		t.Fatalf("ReadAt = %v", buf)
+	}
+	if _, err := f.ReadAt(buf, 100); !errors.Is(err, io.EOF) {
+		t.Fatalf("ReadAt past EOF = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Operations on closed handles fail cleanly.
+	if _, err := f.Read(buf); err == nil {
+		t.Fatal("read of closed handle accepted")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := newTestFS(t)
+	for i := 9; i >= 0; i-- {
+		if err := fs.WriteFile(fmt.Sprintf("/f%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := fs.ReadDir("/")
+	if err != nil || len(entries) != 10 {
+		t.Fatalf("ReadDir = %d entries, %v", len(entries), err)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Name >= entries[i].Name {
+			t.Fatal("ReadDir not sorted")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package workload synthesizes the file trees and file populations used
+// by the paper's evaluation (DSN'19 §VII): flat directories for the
+// directory-operation microbenchmark (Table 5b), git-repository-shaped
+// trees for the clone experiment (Fig. 5c), and the LFSD/MFMD/SFLD
+// application workloads (Table III).
+//
+// Generation is deterministic per seed so NEXUS and baseline runs see
+// identical trees.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path"
+
+	"nexus/internal/fsapi"
+)
+
+// FileSpec is one file to create.
+type FileSpec struct {
+	Path string
+	Size int64
+}
+
+// Tree is a generated directory tree.
+type Tree struct {
+	// Name labels the workload in benchmark output.
+	Name string
+	// Dirs are all directories in creation order (parents first).
+	Dirs []string
+	// Files are the files to populate.
+	Files []FileSpec
+	// TotalBytes is the sum of file sizes.
+	TotalBytes int64
+}
+
+// TreeSpec parameterizes tree synthesis.
+type TreeSpec struct {
+	Name     string
+	NumFiles int
+	NumDirs  int
+	MaxDepth int
+	// MinFileSize and MaxFileSize bound the size distribution. Sizes are
+	// drawn log-uniformly so most files are small with a heavy tail,
+	// like real repositories.
+	MinFileSize int64
+	MaxFileSize int64
+	Seed        int64
+}
+
+// Git-repository-shaped workloads matching the repositories cloned in
+// Fig. 5c. File and directory counts follow the paper (redis: 618 files;
+// julia: 1096; nodejs: 19912 with directories up to 13 levels deep and
+// top directories over a thousand entries); sizes are drawn to land near
+// each repository's checkout volume.
+var (
+	// Redis is the smallest tree: 618 files, shallow.
+	Redis = TreeSpec{
+		Name: "redis", NumFiles: 618, NumDirs: 60, MaxDepth: 5,
+		MinFileSize: 256, MaxFileSize: 256 << 10, Seed: 101,
+	}
+	// Julia is mid-sized: 1096 files.
+	Julia = TreeSpec{
+		Name: "julia", NumFiles: 1096, NumDirs: 110, MaxDepth: 7,
+		MinFileSize: 256, MaxFileSize: 384 << 10, Seed: 102,
+	}
+	// NodeJS is the stress case: 19912 files, depth up to 13.
+	NodeJS = TreeSpec{
+		Name: "nodejs", NumFiles: 19912, NumDirs: 1400, MaxDepth: 13,
+		MinFileSize: 128, MaxFileSize: 512 << 10, Seed: 103,
+	}
+)
+
+// Generate synthesizes a tree from the spec.
+func Generate(spec TreeSpec) *Tree {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	t := &Tree{Name: spec.Name}
+
+	// Directories: a random recursive tree bounded by MaxDepth. The
+	// first directory is the root itself ("").
+	dirs := []string{""}
+	depths := []int{0}
+	for len(dirs) < spec.NumDirs+1 {
+		// Pick a parent biased towards shallower directories so the tree
+		// is bushy near the top (like real repositories).
+		pi := rng.Intn(len(dirs))
+		if depths[pi] >= spec.MaxDepth {
+			continue
+		}
+		name := fmt.Sprintf("d%03d", len(dirs))
+		dir := path.Join(dirs[pi], name)
+		dirs = append(dirs, dir)
+		depths = append(depths, depths[pi]+1)
+	}
+	t.Dirs = append(t.Dirs, dirs[1:]...) // skip the root
+
+	// Files: assigned to directories with a skew — a few directories
+	// accumulate large populations (the paper calls out NodeJS's top
+	// directories of 1458/762/783 entries).
+	for i := 0; i < spec.NumFiles; i++ {
+		var dir string
+		if rng.Float64() < 0.35 && len(dirs) > 3 {
+			// Hot directories: one of the first three non-root dirs.
+			dir = dirs[1+rng.Intn(3)]
+		} else {
+			dir = dirs[rng.Intn(len(dirs))]
+		}
+		size := logUniform(rng, spec.MinFileSize, spec.MaxFileSize)
+		f := FileSpec{Path: path.Join(dir, fmt.Sprintf("f%05d", i)), Size: size}
+		t.Files = append(t.Files, f)
+		t.TotalBytes += size
+	}
+	return t
+}
+
+// logUniform draws from [lo, hi] with a log-uniform distribution.
+func logUniform(rng *rand.Rand, lo, hi int64) int64 {
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		return lo
+	}
+	ratio := float64(hi) / float64(lo)
+	f := float64(lo) * math.Pow(ratio, rng.Float64())
+	v := int64(f)
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// Content fills deterministic pseudo-random bytes, salting in the term
+// the grep benchmark searches for at a low rate.
+type Content struct {
+	rng  *rand.Rand
+	term []byte
+}
+
+// NewContent returns a generator seeded deterministically.
+func NewContent(seed int64) *Content {
+	return &Content{rng: rand.New(rand.NewSource(seed)), term: []byte("javascript\n")}
+}
+
+// Fill produces size bytes of compressible, line-structured content with
+// occasional occurrences of the search term ("javascript", the paper's
+// grep target).
+func (c *Content) Fill(size int64) []byte {
+	buf := make([]byte, 0, size)
+	line := 0
+	for int64(len(buf)) < size {
+		line++
+		if line%37 == 0 {
+			buf = append(buf, c.term...)
+			continue
+		}
+		n := 20 + c.rng.Intn(60)
+		for i := 0; i < n && int64(len(buf)) < size; i++ {
+			buf = append(buf, byte('a'+c.rng.Intn(26)))
+		}
+		buf = append(buf, '\n')
+	}
+	return buf[:size]
+}
+
+// Materialize creates the tree under root on fs, returning the number of
+// objects created. Scale divides file sizes (but never below 1 byte) so
+// large workloads stay tractable in CI while preserving file counts.
+func Materialize(fs fsapi.FileSystem, root string, t *Tree, scale int64) (int, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	content := NewContent(t.TotalBytes) // deterministic per tree
+	created := 0
+	if err := fs.MkdirAll(root); err != nil {
+		return 0, err
+	}
+	for _, dir := range t.Dirs {
+		if err := fs.MkdirAll(path.Join(root, dir)); err != nil {
+			return created, fmt.Errorf("workload: mkdir %s: %w", dir, err)
+		}
+		created++
+	}
+	for _, f := range t.Files {
+		size := f.Size / scale
+		if size < 1 {
+			size = 1
+		}
+		if err := fs.WriteFile(path.Join(root, f.Path), content.Fill(size)); err != nil {
+			return created, fmt.Errorf("workload: write %s: %w", f.Path, err)
+		}
+		created++
+	}
+	return created, nil
+}
+
+// FlatSpec describes the flat-directory populations of Table III and
+// the Table 5b microbenchmark.
+type FlatSpec struct {
+	Name     string
+	NumFiles int
+	FileSize int64
+}
+
+// The paper's Table III workloads.
+var (
+	// LFSD: 32 large files in a small directory (3.2 GB).
+	LFSD = FlatSpec{Name: "large-file-small-dir", NumFiles: 32, FileSize: 100 << 20}
+	// MFMD: 256 medium files (2.5 GB).
+	MFMD = FlatSpec{Name: "medium-file-medium-dir", NumFiles: 256, FileSize: 10 << 20}
+	// SFLD: 1024 small files in a large directory (10 MB).
+	SFLD = FlatSpec{Name: "small-file-large-dir", NumFiles: 1024, FileSize: 10 << 10}
+)
+
+// MaterializeFlat creates the flat population under root, dividing file
+// sizes by scale (min 1 byte).
+func MaterializeFlat(fs fsapi.FileSystem, root string, spec FlatSpec, scale int64) error {
+	if scale < 1 {
+		scale = 1
+	}
+	if err := fs.MkdirAll(root); err != nil {
+		return err
+	}
+	content := NewContent(int64(spec.NumFiles))
+	size := spec.FileSize / scale
+	if size < 1 {
+		size = 1
+	}
+	data := content.Fill(size)
+	for i := 0; i < spec.NumFiles; i++ {
+		name := path.Join(root, fmt.Sprintf("file%05d", i))
+		if err := fs.WriteFile(name, data); err != nil {
+			return fmt.Errorf("workload: write %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"nexus/internal/backend"
+	"nexus/internal/plainfs"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Redis)
+	b := Generate(Redis)
+	if len(a.Files) != len(b.Files) || a.TotalBytes != b.TotalBytes {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatalf("file %d differs: %+v vs %+v", i, a.Files[i], b.Files[i])
+		}
+	}
+}
+
+func TestGenerateMatchesPaperCounts(t *testing.T) {
+	cases := []struct {
+		spec  TreeSpec
+		files int
+	}{
+		{Redis, 618},
+		{Julia, 1096},
+		{NodeJS, 19912},
+	}
+	for _, c := range cases {
+		tree := Generate(c.spec)
+		if len(tree.Files) != c.files {
+			t.Errorf("%s: %d files, want %d", c.spec.Name, len(tree.Files), c.files)
+		}
+		if len(tree.Dirs) != c.spec.NumDirs {
+			t.Errorf("%s: %d dirs, want %d", c.spec.Name, len(tree.Dirs), c.spec.NumDirs)
+		}
+		// Depth bound respected, and NodeJS actually uses its depth.
+		maxDepth := 0
+		for _, d := range tree.Dirs {
+			depth := strings.Count(d, "/") + 1
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		if maxDepth > c.spec.MaxDepth {
+			t.Errorf("%s: depth %d exceeds max %d", c.spec.Name, maxDepth, c.spec.MaxDepth)
+		}
+	}
+	nodeTree := Generate(NodeJS)
+	deepest := 0
+	for _, d := range nodeTree.Dirs {
+		if depth := strings.Count(d, "/") + 1; depth > deepest {
+			deepest = depth
+		}
+	}
+	if deepest < 8 {
+		t.Errorf("nodejs tree max depth %d; want a deep hierarchy", deepest)
+	}
+}
+
+func TestGenerateSizesWithinBounds(t *testing.T) {
+	tree := Generate(Redis)
+	for _, f := range tree.Files {
+		if f.Size < Redis.MinFileSize || f.Size > Redis.MaxFileSize {
+			t.Fatalf("file size %d outside [%d, %d]", f.Size, Redis.MinFileSize, Redis.MaxFileSize)
+		}
+	}
+}
+
+func TestMaterializeTree(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	tree := Generate(TreeSpec{
+		Name: "tiny", NumFiles: 40, NumDirs: 8, MaxDepth: 3,
+		MinFileSize: 16, MaxFileSize: 1024, Seed: 7,
+	})
+	created, err := Materialize(fs, "/repo", tree, 1)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if created != len(tree.Dirs)+len(tree.Files) {
+		t.Fatalf("created %d, want %d", created, len(tree.Dirs)+len(tree.Files))
+	}
+	// Every generated file exists with its size.
+	for _, f := range tree.Files {
+		st, err := fs.Stat("/repo/" + f.Path)
+		if err != nil {
+			t.Fatalf("Stat(%s): %v", f.Path, err)
+		}
+		if int64(st.Size) != f.Size {
+			t.Fatalf("size of %s = %d, want %d", f.Path, st.Size, f.Size)
+		}
+	}
+}
+
+func TestMaterializeScale(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	tree := Generate(TreeSpec{
+		Name: "tiny", NumFiles: 10, NumDirs: 2, MaxDepth: 2,
+		MinFileSize: 1000, MaxFileSize: 1000, Seed: 9,
+	})
+	if _, err := Materialize(fs, "/r", tree, 100); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Stat("/r/" + tree.Files[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 10 { // 1000/100
+		t.Fatalf("scaled size = %d, want 10", st.Size)
+	}
+}
+
+func TestMaterializeFlat(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	if err := MaterializeFlat(fs, "/sfld", SFLD, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/sfld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != SFLD.NumFiles {
+		t.Fatalf("files = %d, want %d", len(entries), SFLD.NumFiles)
+	}
+	st, err := fs.Stat("/sfld/file00000")
+	if err != nil || int64(st.Size) != SFLD.FileSize {
+		t.Fatalf("Stat = %+v, %v", st, err)
+	}
+}
+
+func TestContentContainsGrepTerm(t *testing.T) {
+	c := NewContent(1)
+	data := c.Fill(64 << 10)
+	if !strings.Contains(string(data), "javascript") {
+		t.Fatal("content never contains the grep term")
+	}
+	if len(data) != 64<<10 {
+		t.Fatalf("Fill returned %d bytes", len(data))
+	}
+}

@@ -1,0 +1,265 @@
+package nexus
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"nexus/internal/afs"
+	"nexus/internal/backend"
+	"nexus/internal/enclave"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	ias, err := NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{Store: NewMemoryStore(), IAS: ias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewIdentity("owen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, sealedKey, err := client.CreateVolume(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealedKey) == 0 {
+		t.Fatal("no sealed key returned")
+	}
+
+	fs := vol.FS()
+	if err := fs.MkdirAll("/docs/reports"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/reports/q1.txt", []byte("quarterly numbers")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/docs/reports/q1.txt")
+	if err != nil || string(data) != "quarterly numbers" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+
+	// Remount later with the sealed key.
+	vol2, err := client.Mount(owner, sealedKey, vol.ID())
+	if err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	data, err = vol2.FS().ReadFile("/docs/reports/q1.txt")
+	if err != nil || string(data) != "quarterly numbers" {
+		t.Fatalf("post-remount read = %q, %v", data, err)
+	}
+}
+
+func TestLocalStoreVolumePersists(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewLocalStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewIdentity("owen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, sealed, err := client.CreateVolume(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.FS().WriteFile("/f", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new client (same platform is required for the sealed key, so a
+	// fresh stack cannot unseal — this verifies persistence via the same
+	// client instead).
+	vol2, err := client.Mount(owner, sealed, vol.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vol2.FS().ReadFile("/f")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("reopened read = %q, %v", got, err)
+	}
+}
+
+// TestEndToEndSharingOverAFS is the full-system integration test: two
+// users on separate simulated machines share one volume through a live
+// AFS-like server, exchange the rootkey via attestation, enforce ACLs,
+// and revoke.
+func TestEndToEndSharingOverAFS(t *testing.T) {
+	// Shared infrastructure: one AFS server, one attestation service.
+	srv := afs.NewServer(backend.NewMemStore())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+	addr := l.Addr().String()
+
+	ias, err := NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newStack := func() (*Client, *afs.Client) {
+		afsClient, err := afs.Dial(addr, afs.ClientConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = afsClient.Close() })
+		c, err := NewClient(ClientConfig{Store: afsClient, IAS: ias})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, afsClient
+	}
+
+	// Owen's machine.
+	owenClient, owenAFS := newStack()
+	owen, err := NewIdentity("owen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, _, err := owenClient.CreateVolume(owen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.FS().MkdirAll("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.FS().WriteFile("/shared/plan.txt", []byte("the plan")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice's machine.
+	aliceClient, _ := newStack()
+	alice, err := NewIdentity("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-band exchange via the AFS store itself.
+	offer, err := aliceClient.CreateShareOffer(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owenAFS.Put("xchg-offer-alice", offer); err != nil {
+		t.Fatal(err)
+	}
+	offerBytes, err := owenAFS.Get("xchg-offer-alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := vol.GrantAccess(offerBytes, "alice", alice.PublicKey, owen)
+	if err != nil {
+		t.Fatalf("GrantAccess: %v", err)
+	}
+	if err := owenAFS.Put("xchg-grant-alice", grant); err != nil {
+		t.Fatal(err)
+	}
+
+	grantBytes, err := owenAFS.Get("xchg-grant-alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceSealed, volID, err := aliceClient.AcceptShareGrant(grantBytes, owen.PublicKey)
+	if err != nil {
+		t.Fatalf("AcceptShareGrant: %v", err)
+	}
+	if volID != vol.ID() {
+		t.Fatalf("grant volume %s, want %s", volID, vol.ID())
+	}
+
+	// Alice mounts; without ACL grants she sees nothing.
+	aliceVol, err := aliceClient.Mount(alice, aliceSealed, volID)
+	if err != nil {
+		t.Fatalf("alice mount: %v", err)
+	}
+	if _, err := aliceVol.FS().ReadFile("/shared/plan.txt"); !errors.Is(err, enclave.ErrAccessDenied) {
+		t.Fatalf("unauthorized read = %v, want ErrAccessDenied", err)
+	}
+
+	// Owen grants read access.
+	if err := vol.SetACL("/", "alice", Lookup); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.SetACL("/shared", "alice", ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	got, err := aliceVol.FS().ReadFile("/shared/plan.txt")
+	if err != nil {
+		t.Fatalf("alice read after grant: %v", err)
+	}
+	if !bytes.Equal(got, []byte("the plan")) {
+		t.Fatalf("alice read = %q", got)
+	}
+	// Writes remain denied.
+	if err := aliceVol.FS().WriteFile("/shared/plan.txt", []byte("hijack")); !errors.Is(err, enclave.ErrAccessDenied) {
+		t.Fatalf("alice write = %v, want ErrAccessDenied", err)
+	}
+
+	// Revocation: one metadata update; alice loses access.
+	if err := vol.SetACL("/shared", "alice", NoRights); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aliceVol.FS().ReadFile("/shared/plan.txt"); !errors.Is(err, enclave.ErrAccessDenied) {
+		t.Fatalf("post-revocation read = %v, want ErrAccessDenied", err)
+	}
+
+	// Full revocation from the volume.
+	if err := vol.RemoveUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aliceClient.Mount(alice, aliceSealed, volID); err == nil {
+		t.Fatal("revoked user re-mounted successfully")
+	}
+
+	// The server never saw plaintext.
+	names, err := owenAFS.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == "xchg-offer-alice" || n == "xchg-grant-alice" {
+			continue
+		}
+		blob, err := owenAFS.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(blob, []byte("the plan")) {
+			t.Fatalf("object %s holds plaintext", n)
+		}
+		if bytes.Contains(blob, []byte("plan.txt")) || bytes.Contains(blob, []byte("shared")) {
+			t.Fatalf("object %s leaks names", n)
+		}
+	}
+}
+
+func TestIdentityValidation(t *testing.T) {
+	if _, err := NewIdentity(""); err == nil {
+		t.Fatal("empty identity name accepted")
+	}
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Fatal("client without store accepted")
+	}
+}
+
+func TestParseRightsReexport(t *testing.T) {
+	r, err := ParseRights("lr")
+	if err != nil || r != ReadOnly {
+		t.Fatalf("ParseRights(lr) = %v, %v", r, err)
+	}
+	if !AllRights.Has(Administer) {
+		t.Fatal("AllRights missing Administer")
+	}
+}
