@@ -1,0 +1,36 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race vet lint fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repo-specific static analyzer (cmd/nexus-lint). It exits
+# non-zero on any finding; see DESIGN.md for the rule set and the
+# //lint:ignore suppression syntax.
+lint:
+	$(GO) run ./cmd/nexus-lint ./...
+
+# fuzz-smoke gives each fuzz target a short budget. The checked-in seed
+# corpora under */testdata/fuzz/ always run as part of `make test`; this
+# goal additionally mutates for $(FUZZTIME) per target.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzGCMSIVRoundTrip -fuzztime=$(FUZZTIME) ./internal/gcmsiv/
+	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/afs/
+
+ci: build vet lint race
+
+clean:
+	$(GO) clean ./...

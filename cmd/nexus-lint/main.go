@@ -1,0 +1,94 @@
+// Command nexus-lint statically checks the repository against the NEXUS
+// security invariants (DSN'19 §IV, §VI) that the Go compiler cannot see:
+// crypto-grade randomness, the enclave key boundary, AEAD nonce hygiene,
+// checked crypto errors, and mutex discipline around shared metadata.
+//
+// Usage:
+//
+//	go run ./cmd/nexus-lint ./...
+//
+// It loads every package of the enclosing module (arguments are accepted
+// for go-tool symmetry; analysis is always whole-module, because the
+// boundary rule is inherently cross-package), prints findings as
+//
+//	file:line: [RULE] message
+//
+// and exits non-zero if any finding survives. Findings can be suppressed
+// with `//lint:ignore RULE reason` on the same or preceding line;
+// suppressions are counted in the summary, never silent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nexus/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list rules and per-rule counts")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nexus-lint [-v] [packages]\n\nRules:\n")
+		for _, c := range lint.Checkers() {
+			fmt.Fprintf(os.Stderr, "  %-22s %s\n", c.Rule, c.Doc)
+		}
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexus-lint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexus-lint:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, f := range res.Findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Rule, f.Msg)
+	}
+	if *verbose {
+		counts := make(map[string]int)
+		for _, f := range res.Findings {
+			counts[f.Rule]++
+		}
+		for _, c := range lint.Checkers() {
+			fmt.Fprintf(os.Stderr, "nexus-lint: %-22s %d finding(s)\n", c.Rule, counts[c.Rule])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nexus-lint: %d finding(s), %d suppressed\n",
+		len(res.Findings), res.Suppressed)
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

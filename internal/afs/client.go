@@ -369,9 +369,9 @@ func (c *Client) Stats() (rpcs, cacheHits int64) {
 type fileCache struct {
 	mu     sync.Mutex
 	budget int64
-	used   int64
-	lru    *list.List // of *cacheEntry, front = most recent
-	byName map[string]*list.Element
+	used   int64                    // guarded by mu
+	lru    *list.List               // of *cacheEntry, front = most recent; guarded by mu
+	byName map[string]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {
@@ -425,7 +425,7 @@ func (fc *fileCache) putNegative(name string) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	if el, ok := fc.byName[name]; ok {
-		fc.removeElement(el)
+		fc.removeElementLocked(el)
 	}
 	el := fc.lru.PushFront(&cacheEntry{name: name, negative: true})
 	fc.byName[name] = el
@@ -457,7 +457,7 @@ func (fc *fileCache) put(name string, data []byte, version uint64) {
 		if oldest == nil {
 			break
 		}
-		fc.removeElement(oldest)
+		fc.removeElementLocked(oldest)
 	}
 }
 
@@ -465,7 +465,7 @@ func (fc *fileCache) invalidate(name string) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	if el, ok := fc.byName[name]; ok {
-		fc.removeElement(el)
+		fc.removeElementLocked(el)
 	}
 }
 
@@ -477,8 +477,8 @@ func (fc *fileCache) flush() {
 	fc.used = 0
 }
 
-// removeElement must be called with fc.mu held.
-func (fc *fileCache) removeElement(el *list.Element) {
+// removeElementLocked must be called with fc.mu held.
+func (fc *fileCache) removeElementLocked(el *list.Element) {
 	entry := el.Value.(*cacheEntry)
 	fc.lru.Remove(el)
 	delete(fc.byName, entry.name)

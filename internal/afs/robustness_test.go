@@ -21,10 +21,10 @@ func TestServerSurvivesGarbageConnections(t *testing.T) {
 	}
 
 	payloads := [][]byte{
-		{},                         // immediate close
-		{0x00},                     // truncated length
-		{0xff, 0xff, 0xff, 0xff},   // absurd frame length
-		{0x00, 0x00, 0x00, 0x00},   // zero-length frame (below header min)
+		{},                       // immediate close
+		{0x00},                   // truncated length
+		{0xff, 0xff, 0xff, 0xff}, // absurd frame length
+		{0x00, 0x00, 0x00, 0x00}, // zero-length frame (below header min)
 		{0x09, 0x00, 0x00, 0x00, 0x63, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown op 99 without hello
 	}
 	for i, payload := range payloads {

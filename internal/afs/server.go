@@ -21,12 +21,12 @@ type Server struct {
 	store backend.Store
 
 	mu        sync.Mutex
-	versions  map[string]uint64          // per-file version counters
-	cachedBy  map[string]map[string]bool // file -> clientIDs with cached copies
-	callbacks map[string]*callbackConn   // clientID -> callback channel
-	locks     map[string]*lockState      // file -> lock queue
-	listeners map[net.Listener]bool
-	closed    bool
+	versions  map[string]uint64          // per-file version counters; guarded by mu
+	cachedBy  map[string]map[string]bool // file -> clientIDs with cached copies; guarded by mu
+	callbacks map[string]*callbackConn   // clientID -> callback channel; guarded by mu
+	locks     map[string]*lockState      // file -> lock queue; guarded by mu
+	listeners map[net.Listener]bool      // guarded by mu
+	closed    bool                       // guarded by mu
 
 	// Stats counters, reported by the benchmark harness.
 	fetches atomic.Int64

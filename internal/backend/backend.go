@@ -73,8 +73,8 @@ func ValidateName(name string) error {
 // value is ready to use.
 type MemStore struct {
 	mu      sync.Mutex
-	objects map[string][]byte
-	locks   map[string]*sync.Mutex
+	objects map[string][]byte      // guarded by mu
+	locks   map[string]*sync.Mutex // guarded by mu
 }
 
 var _ Store = (*MemStore)(nil)
@@ -186,7 +186,7 @@ type DirStore struct {
 	dir string
 
 	mu    sync.Mutex
-	locks map[string]*sync.Mutex
+	locks map[string]*sync.Mutex // guarded by mu
 }
 
 var _ Store = (*DirStore)(nil)

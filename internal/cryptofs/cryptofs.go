@@ -82,8 +82,8 @@ type FS struct {
 	owner *User
 
 	mu    sync.Mutex
-	users map[string]*User // all participants, owner included
-	stats Stats
+	users map[string]*User // all participants, owner included; guarded by mu
+	stats Stats            // guarded by mu
 }
 
 // New creates a filesystem owned by owner.
@@ -127,9 +127,9 @@ func escape(p string) string {
 	return strings.ReplaceAll(p, "/", "%2f")
 }
 
-// wrapKey derives the pairwise wrapping secret between the owner and a
+// wrapKeyLocked derives the pairwise wrapping secret between the owner and a
 // user, and seals the file key under it.
-func (fs *FS) wrapKey(user *User, fileKey []byte) ([]byte, error) {
+func (fs *FS) wrapKeyLocked(user *User, fileKey []byte) ([]byte, error) {
 	secret, err := fs.owner.priv.ECDH(user.priv.PublicKey())
 	if err != nil {
 		return nil, fmt.Errorf("cryptofs: deriving wrap secret: %w", err)
@@ -175,10 +175,10 @@ func (fs *FS) unwrapKey(user *User, wrapped []byte) ([]byte, error) {
 	return key, nil
 }
 
-// encryptAndStore encrypts data under a fresh file key, wraps it for the
+// encryptAndStoreLocked encrypts data under a fresh file key, wraps it for the
 // named readers, and uploads both objects. It returns the file key size
 // bookkeeping through fs.stats.
-func (fs *FS) encryptAndStore(p string, data []byte, readers []string) error {
+func (fs *FS) encryptAndStoreLocked(p string, data []byte, readers []string) error {
 	fileKey := make([]byte, 32)
 	if _, err := rand.Read(fileKey); err != nil {
 		return err
@@ -207,7 +207,7 @@ func (fs *FS) encryptAndStore(p string, data []byte, readers []string) error {
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrUnknownUser, name)
 		}
-		wrapped, err := fs.wrapKey(user, fileKey)
+		wrapped, err := fs.wrapKeyLocked(user, fileKey)
 		if err != nil {
 			return err
 		}
@@ -240,7 +240,7 @@ func (fs *FS) WriteFile(p string, data []byte, readers []string) error {
 			unique = append(unique, r)
 		}
 	}
-	return fs.encryptAndStore(p, data, unique)
+	return fs.encryptAndStoreLocked(p, data, unique)
 }
 
 // ReadFile decrypts a file as the given user.
@@ -361,7 +361,7 @@ func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
 		if err != nil {
 			return Stats{}, err
 		}
-		if err := fs.encryptAndStore(p, pt, remaining); err != nil {
+		if err := fs.encryptAndStoreLocked(p, pt, remaining); err != nil {
 			return Stats{}, err
 		}
 	}

@@ -1,0 +1,72 @@
+package gcmsiv
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+)
+
+// FuzzGCMSIVRoundTrip drives Seal/Open with fuzzer-chosen keys, nonces,
+// plaintexts, and AAD, checking the invariants NEXUS relies on: sealed
+// data opens back to the original, tampering with any byte of the
+// ciphertext or the AAD is rejected with ErrAuth, a different nonce does
+// not open the ciphertext, and encryption is deterministic for a fixed
+// (key, nonce, plaintext, AAD) tuple — the SIV property that makes
+// nonce misuse non-catastrophic (RFC 8452 §1).
+func FuzzGCMSIVRoundTrip(f *testing.F) {
+	f.Add([]byte("key seed"), false, []byte("nonce seed"), []byte("hello, nexus"), []byte("chunk 0"))
+	f.Add([]byte(""), true, []byte(""), []byte(""), []byte(""))
+	f.Add([]byte("wide"), true, []byte("n"), bytes.Repeat([]byte{0xa5}, 256), []byte("aad"))
+	f.Fuzz(func(t *testing.T, keySeed []byte, wide bool, nonceSeed []byte, pt, aad []byte) {
+		if len(pt) > 1<<16 || len(aad) > 1<<12 {
+			t.Skip("bounding plaintext size for throughput")
+		}
+		keyMat := sha256.Sum256(keySeed)
+		key := keyMat[:16]
+		if wide {
+			key = keyMat[:32]
+		}
+		nonceMat := sha256.Sum256(nonceSeed)
+		nonce := nonceMat[:NonceSize]
+
+		a, err := New(key)
+		if err != nil {
+			t.Fatalf("New(%d-byte key): %v", len(key), err)
+		}
+		ct := a.Seal(nil, nonce, pt, aad)
+		if len(ct) != len(pt)+TagSize {
+			t.Fatalf("ciphertext length %d, want %d", len(ct), len(pt)+TagSize)
+		}
+		if ct2 := a.Seal(nil, nonce, pt, aad); !bytes.Equal(ct, ct2) {
+			t.Fatal("Seal is not deterministic for a fixed key/nonce/plaintext/AAD")
+		}
+
+		got, err := a.Open(nil, nonce, ct, aad)
+		if err != nil {
+			t.Fatalf("Open after Seal: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip mismatch: got %x, want %x", got, pt)
+		}
+
+		// Any single-byte corruption must fail authentication.
+		i := len(pt) % len(ct)
+		ct[i] ^= 0x01
+		if _, err := a.Open(nil, nonce, ct, aad); !errors.Is(err, ErrAuth) {
+			t.Fatalf("Open of corrupted ciphertext: got %v, want ErrAuth", err)
+		}
+		ct[i] ^= 0x01
+
+		wrongAAD := append(append([]byte(nil), aad...), 0x00)
+		if _, err := a.Open(nil, nonce, ct, wrongAAD); !errors.Is(err, ErrAuth) {
+			t.Fatalf("Open with altered AAD: got %v, want ErrAuth", err)
+		}
+
+		wrongNonce := append([]byte(nil), nonce...)
+		wrongNonce[0] ^= 0x01
+		if _, err := a.Open(nil, wrongNonce, ct, aad); !errors.Is(err, ErrAuth) {
+			t.Fatalf("Open with altered nonce: got %v, want ErrAuth", err)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package lint
+
+import "testing"
+
+func TestBoundary(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "raw rootkey parameter on ecall surface",
+			files: map[string]string{
+				"internal/enclave/x.go": `package enclave
+func Mount(rootKey []byte) error { _ = rootKey; return nil }
+`,
+			},
+			want: []string{"x.go:2"},
+		},
+		{
+			name: "raw rootkey result on ecall surface",
+			files: map[string]string{
+				"internal/sgx/x.go": `package sgx
+func Export() (rootKey []byte) { return nil }
+`,
+			},
+			want: []string{"x.go:2"},
+		},
+		{
+			name: "exported getter named for key material",
+			files: map[string]string{
+				"internal/enclave/x.go": `package enclave
+type E struct{ k []byte }
+func (e *E) RootKey() []byte { return e.k }
+`,
+			},
+			want: []string{"x.go:3"},
+		},
+		{
+			name: "exported struct field and package var",
+			files: map[string]string{
+				"internal/sgx/x.go": `package sgx
+var SealingKey = []byte{1}
+type Platform struct {
+	FuseKey [32]byte
+	fuseKey [32]byte
+}
+`,
+			},
+			want: []string{"x.go:2", "x.go:4"},
+		},
+		{
+			name: "named key type in signature",
+			files: map[string]string{
+				"internal/enclave/x.go": `package enclave
+type rootKey []byte
+func Expose(k rootKey) {}
+`,
+			},
+			want: []string{"x.go:3"},
+		},
+		{
+			name: "sealed and wrapped forms allowed",
+			files: map[string]string{
+				"internal/enclave/x.go": `package enclave
+func CreateVolume() (sealedRootKey []byte, err error) { return nil, nil }
+func Grant(wrappedKey []byte) {}
+`,
+			},
+			want: nil,
+		},
+		{
+			name: "unexported key state allowed inside enclave",
+			files: map[string]string{
+				"internal/enclave/x.go": `package enclave
+type enclave struct{ rootKey []byte }
+func mount(rootKey []byte) { _ = enclave{rootKey: rootKey} }
+`,
+			},
+			want: nil,
+		},
+		{
+			name: "outside reference to exported key material",
+			files: map[string]string{
+				"internal/sgx/x.go": `package sgx
+//lint:ignore enclave-boundary fixture needs an exported leak to reference
+var SealingKey = []byte{1}
+`,
+				"internal/vfs/x.go": `package vfs
+import "fixture/internal/sgx"
+var leak = sgx.SealingKey
+`,
+			},
+			want: []string{"x.go:3"},
+		},
+		{
+			name: "other packages free to name rootkey",
+			files: map[string]string{
+				"internal/metadata/x.go": `package metadata
+func NewRootKey() []byte { return make([]byte, 32) }
+func Seal(rootKey, body []byte) []byte { _ = rootKey; return body }
+`,
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expect(t, analyzeFixture(t, tc.files), RuleBoundary, tc.want...)
+		})
+	}
+}

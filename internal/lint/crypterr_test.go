@@ -1,0 +1,112 @@
+package lint
+
+import "testing"
+
+func TestCryptoErr(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string // //WANT marks expected findings
+	}{
+		{
+			name: "rand.Read error dropped to blank",
+			path: "internal/metadata/x.go",
+			src: `package metadata
+import "crypto/rand"
+func F(b []byte) {
+	_, _ = rand.Read(b) //WANT
+}
+`,
+		},
+		{
+			name: "rand.Read as bare statement",
+			path: "internal/metadata/x.go",
+			src: `package metadata
+import "crypto/rand"
+func F(b []byte) {
+	rand.Read(b) //WANT
+}
+`,
+		},
+		{
+			name: "AEAD Open error dropped",
+			path: "internal/cryptofs/x.go",
+			src: `package cryptofs
+import (
+	"crypto/aes"
+	"crypto/cipher"
+)
+func F(ct []byte) []byte {
+	b, err := aes.NewCipher(make([]byte, 16))
+	if err != nil {
+		panic(err)
+	}
+	g, err := cipher.NewGCM(b)
+	if err != nil {
+		panic(err)
+	}
+	pt, _ := g.Open(nil, ct[:12], ct[12:], nil) //WANT
+	return pt
+}
+`,
+		},
+		{
+			name: "ed25519 Verify result dropped",
+			path: "internal/enclave/x.go",
+			src: `package enclave
+import "crypto/ed25519"
+func F(pub ed25519.PublicKey, msg, sig []byte) {
+	ed25519.Verify(pub, msg, sig) //WANT
+}
+`,
+		},
+		{
+			name: "repo crypto package error dropped in deferred call",
+			path: "pkg/x.go",
+			src: `package pkg
+import "fixture/internal/sgx"
+func F(e *sgx.E) {
+	defer e.Seal(nil) //WANT
+}
+`,
+		},
+		{
+			name: "checked errors are clean",
+			path: "internal/metadata/x.go",
+			src: `package metadata
+import "crypto/rand"
+func F(b []byte) error {
+	if _, err := rand.Read(b); err != nil {
+		return err
+	}
+	n, err := rand.Read(b)
+	_ = n
+	return err
+}
+`,
+		},
+		{
+			name: "non-crypto errors not this rule's business",
+			path: "pkg/x.go",
+			src: `package pkg
+import "os"
+func F() {
+	os.Remove("scratch") // unchecked, but not crypto
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{tc.path: tc.src}
+			if tc.name == "repo crypto package error dropped in deferred call" {
+				files["internal/sgx/x.go"] = `package sgx
+type E struct{}
+func (*E) Seal(aad []byte) error { return nil }
+`
+			}
+			res := analyzeFixture(t, files)
+			expect(t, res, RuleCryptoErr, wantLines(tc.src)...)
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Package lint is nexus-lint: a repo-specific static analyzer that
+// machine-checks the NEXUS security invariants the Go compiler cannot see
+// (DSN'19 §IV, §VI). It is built exclusively on the standard library's
+// go/parser, go/ast, and go/types; the module stays dependency-free.
+//
+// Rules:
+//
+//   - no-math-rand: math/rand never feeds key material. Forbidden outside
+//     _test.go files and the synthetic-workload packages
+//     (internal/workload, internal/bench); the crypto-bearing packages
+//     must use crypto/rand exclusively.
+//   - enclave-boundary: raw key material (rootkey, sealing keys, wrapping
+//     keys) never crosses the ecall surface: no exported identifier or
+//     exported signature of internal/enclave or internal/sgx may carry
+//     it, and no outside package may reference such an identifier.
+//     Sealed/wrapped forms are allowed (that is the point of sealing).
+//   - nonce-hygiene: every AEAD Seal/Open nonce is a constant-free,
+//     non-package-level value freshly derived from crypto/rand or a
+//     counter helper (§VI-A's fresh key+IV per update).
+//   - unchecked-crypto-error: the error from rand.Read, AEAD Seal/Open,
+//     sealing, or signature verification is never discarded.
+//   - lock-discipline: a Lock/RLock on a sync.Mutex/RWMutex has a
+//     matching Unlock in the same function (deferred or on a return
+//     path, conservatively approximated), and fields annotated
+//     "// guarded by mu" are only touched by functions that lock mu (or
+//     are *Locked helpers that document holding it).
+//
+// A finding can be suppressed with a directive on the same or the
+// preceding line:
+//
+//	//lint:ignore RULE reason
+//
+// Suppressed findings are counted and reported, never silently dropped.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String formats the finding in the canonical file:line: [RULE] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Checker is a single named rule.
+type Checker struct {
+	Rule string
+	Doc  string
+	// Run reports the rule's findings for one package of the module.
+	Run func(m *Module, p *Package) []Finding
+}
+
+// Checkers returns every rule, in reporting order.
+func Checkers() []Checker {
+	return []Checker{
+		{Rule: RuleMathRand, Doc: "math/rand forbidden outside tests and workload generators", Run: checkMathRand},
+		{Rule: RuleBoundary, Doc: "raw key material must not cross the enclave boundary", Run: checkBoundary},
+		{Rule: RuleNonce, Doc: "AEAD nonces must be fresh (crypto/rand or counter helper)", Run: checkNonce},
+		{Rule: RuleCryptoErr, Doc: "crypto errors must be checked", Run: checkCryptoErr},
+		{Rule: RuleLocks, Doc: "mutex lock/unlock pairing and guarded-by annotations", Run: checkLocks},
+	}
+}
+
+// Rule names.
+const (
+	RuleMathRand  = "no-math-rand"
+	RuleBoundary  = "enclave-boundary"
+	RuleNonce     = "nonce-hygiene"
+	RuleCryptoErr = "unchecked-crypto-error"
+	RuleLocks     = "lock-discipline"
+	// RuleDirective reports malformed //lint:ignore directives.
+	RuleDirective = "lint-directive"
+)
+
+// Result is the outcome of linting a module.
+type Result struct {
+	// Findings are the surviving (unsuppressed) findings, sorted by
+	// position.
+	Findings []Finding
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+}
+
+// Run loads the module rooted at root and applies every rule.
+func Run(root string) (*Result, error) {
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(mod), nil
+}
+
+// Analyze applies every rule to an already loaded module.
+func Analyze(mod *Module) *Result {
+	var findings []Finding
+	sup := make(map[supKey]bool)
+	for _, pkg := range mod.Packages {
+		s, bad := collectSuppressions(pkg)
+		for k := range s {
+			sup[k] = true
+		}
+		findings = append(findings, bad...)
+		for _, c := range Checkers() {
+			findings = append(findings, c.Run(mod, pkg)...)
+		}
+	}
+
+	res := &Result{}
+	for _, f := range findings {
+		if f.Rule != RuleDirective && suppressed(sup, f) {
+			res.Suppressed++
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return res
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is one parsed source file of a package.
+type File struct {
+	// Path is the absolute on-disk path ("fixture.go" for in-memory
+	// fixtures).
+	Path string
+	AST  *ast.File
+	// Test reports a _test.go file. Test files are parsed so file-level
+	// rules (no-math-rand) can honor their exemption, but they are not
+	// type-checked and type-aware rules skip them.
+	Test bool
+}
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// ImportPath is the full import path (module path + relative dir).
+	ImportPath string
+	Fset       *token.FileSet
+	// Files holds every parsed file, including _test.go files.
+	Files []*File
+	// Syntax holds the ASTs of the non-test files, in the order they were
+	// type-checked.
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// RelPath returns p's import path relative to the module root ("" for the
+// root package itself), so rules can match directories like
+// "internal/workload" without hard-coding the module name.
+func (p *Package) RelPath(module string) string {
+	if p.ImportPath == module {
+		return ""
+	}
+	return strings.TrimPrefix(p.ImportPath, module+"/")
+}
+
+// Module is the loaded view of the repository: every package, parsed and
+// type-checked with only the standard library's go/* toolchain packages.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path     string
+	Root     string
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// LoadModule parses and type-checks every package under root (the
+// directory containing go.mod). Standard-library imports are resolved by
+// the stdlib source importer; module-internal imports are resolved against
+// the packages being loaded, in dependency order.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	pkgs := make(map[string]*Package) // import path -> parsed package
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs[pkg.ImportPath] = pkg
+		}
+	}
+
+	order, err := topoSort(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		module: modPath,
+		pkgs:   make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	for _, pkg := range order {
+		if err := typeCheck(fset, imp, pkg); err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		imp.pkgs[pkg.ImportPath] = pkg.Types
+	}
+
+	return &Module{Path: modPath, Root: root, Fset: fset, Packages: order}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			if p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks root collecting directories that contain .go files,
+// skipping VCS metadata, testdata, and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses every .go file in dir into a Package (nil if the
+// directory holds no buildable primary files).
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	pkg := &Package{ImportPath: importPath, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, &File{
+			Path: path,
+			AST:  f,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	for _, f := range pkg.Files {
+		if !f.Test {
+			pkg.Syntax = append(pkg.Syntax, f.AST)
+		}
+	}
+	if len(pkg.Syntax) == 0 {
+		return nil, nil // test-only directory
+	}
+	return pkg, nil
+}
+
+// fileImports returns the import paths of a package's primary files.
+func fileImports(pkg *Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range pkg.Syntax {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func topoSort(pkgs map[string]*Package, modPath string) ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		pkg, ok := pkgs[path]
+		if !ok {
+			return nil // stdlib or external: handled by the importer
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+		state[path] = visiting
+		for _, imp := range fileImports(pkg) {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				if err := visit(imp, append(stack, path)); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from already checked
+// packages and everything else from the stdlib source importer.
+type moduleImporter struct {
+	module string
+	pkgs   map[string]*types.Package
+	std    types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		return nil, fmt.Errorf("module package %s not loaded (import cycle?)", path)
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck runs go/types over a package's primary files.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.ImportPath, fset, pkg.Syntax, info)
+	if err != nil {
+		return err
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

@@ -1,0 +1,80 @@
+package lint
+
+import "testing"
+
+func TestMathRand(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string // file:line per finding, in order
+	}{
+		{
+			name: "crypto-bearing package flagged",
+			files: map[string]string{
+				"internal/gcmsiv/x.go": `package gcmsiv
+import "math/rand"
+var _ = rand.Int
+`,
+			},
+			want: []string{"x.go:2"},
+		},
+		{
+			name: "math rand v2 flagged",
+			files: map[string]string{
+				"pkg/x.go": `package pkg
+import "math/rand/v2"
+var _ = rand.Int
+`,
+			},
+			want: []string{"x.go:2"},
+		},
+		{
+			name: "test file exempt",
+			files: map[string]string{
+				"internal/enclave/x.go": `package enclave
+func F() {}
+`,
+				"internal/enclave/x_test.go": `package enclave
+import "math/rand"
+var _ = rand.Int
+`,
+			},
+			want: nil,
+		},
+		{
+			name: "workload package exempt",
+			files: map[string]string{
+				"internal/workload/x.go": `package workload
+import "math/rand"
+var _ = rand.Int
+`,
+			},
+			want: nil,
+		},
+		{
+			name: "bench package exempt",
+			files: map[string]string{
+				"internal/bench/x.go": `package bench
+import "math/rand"
+var _ = rand.Int
+`,
+			},
+			want: nil,
+		},
+		{
+			name: "crypto rand clean",
+			files: map[string]string{
+				"internal/metadata/x.go": `package metadata
+import "crypto/rand"
+func F(b []byte) { _, err := rand.Read(b); _ = err }
+`,
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expect(t, analyzeFixture(t, tc.files), RuleMathRand, tc.want...)
+		})
+	}
+}

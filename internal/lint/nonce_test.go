@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// aeadPrelude gives fixtures a realistic AEAD value to call Seal/Open on.
+const aeadPrelude = `package pkg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+)
+
+func newAEAD() cipher.AEAD {
+	b, err := aes.NewCipher(make([]byte, 16))
+	if err != nil {
+		panic(err)
+	}
+	g, err := cipher.NewGCM(b)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+var (
+	_ = rand.Read
+	_ = binary.BigEndian
+)
+`
+
+// wantLines returns "x.go:N" for every fixture line marked //WANT.
+func wantLines(src string) []string {
+	var out []string
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "//WANT") {
+			out = append(out, "x.go:"+strconv.Itoa(i+1))
+		}
+	}
+	return out
+}
+
+func TestNonce(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // appended to aeadPrelude; //WANT marks expected findings
+	}{
+		{
+			name: "literal nonce",
+			src: `
+func F(pt []byte) []byte {
+	return newAEAD().Seal(nil, []byte("000000000000"), pt, nil) //WANT
+}
+`,
+		},
+		{
+			name: "package-level nonce variable",
+			src: `
+var sharedNonce = make([]byte, 12)
+
+func F(pt []byte) []byte {
+	return newAEAD().Seal(nil, sharedNonce, pt, nil) //WANT
+}
+`,
+		},
+		{
+			name: "zero buffer used directly",
+			src: `
+func F(pt []byte) []byte {
+	nonce := make([]byte, 12)
+	return newAEAD().Seal(nil, nonce, pt, nil) //WANT
+}
+`,
+		},
+		{
+			name: "zero array used directly",
+			src: `
+func F(pt []byte) []byte {
+	var nonce [12]byte
+	return newAEAD().Seal(nil, nonce[:], pt, nil) //WANT
+}
+`,
+		},
+		{
+			name: "crypto rand nonce ok",
+			src: `
+func F(pt []byte) ([]byte, error) {
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return newAEAD().Seal(nonce, nonce, pt, nil), nil
+}
+`,
+		},
+		{
+			name: "counter helper nonce ok",
+			src: `
+func F(counter uint64, pt []byte) []byte {
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], counter)
+	return newAEAD().Seal(nil, nonce, pt, nil)
+}
+`,
+		},
+		{
+			name: "open with wire nonce ok",
+			src: `
+func F(blob []byte) ([]byte, error) {
+	nonce := blob[:12]
+	return newAEAD().Open(nil, nonce, blob[12:], nil)
+}
+`,
+		},
+		{
+			name: "open with constant nonce flagged",
+			src: `
+func F(blob []byte) ([]byte, error) {
+	return newAEAD().Open(nil, []byte("bad-constant"), blob, nil) //WANT
+}
+`,
+		},
+		{
+			name: "nonce from helper call ok",
+			src: `
+func nextNonce() []byte {
+	n := make([]byte, 12)
+	if _, err := rand.Read(n); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func F(pt []byte) []byte {
+	return newAEAD().Seal(nil, nextNonce(), pt, nil)
+}
+`,
+		},
+		{
+			name: "field randomized in same function ok",
+			src: `
+type ctx struct{ IV [12]byte }
+
+func F(pt []byte) ([]byte, error) {
+	var c ctx
+	if _, err := rand.Read(c.IV[:]); err != nil {
+		return nil, err
+	}
+	return newAEAD().Seal(nil, c.IV[:], pt, nil), nil
+}
+`,
+		},
+		{
+			name: "param nonce is the caller's responsibility",
+			src: `
+func F(nonce, pt []byte) []byte {
+	return newAEAD().Seal(nil, nonce, pt, nil)
+}
+`,
+		},
+		{
+			name: "non-AEAD Seal signature ignored",
+			src: `
+type sealer struct{}
+
+func (sealer) Seal(data, aad []byte) ([]byte, error) { return data, nil }
+
+func F() {
+	var s sealer
+	out, err := s.Seal([]byte("x"), nil)
+	_, _ = out, err
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := aeadPrelude + tc.src
+			res := analyzeFixture(t, map[string]string{"pkg/x.go": src})
+			expect(t, res, RuleNonce, wantLines(src)...)
+		})
+	}
+}

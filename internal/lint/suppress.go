@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"strings"
+)
+
+// supKey identifies one (file, line, rule) a directive silences.
+type supKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectSuppressions scans a package's comments (including test files)
+// for //lint:ignore directives. A directive silences matching findings on
+// its own line and on the immediately following line, so both trailing
+// and preceding-line placement work:
+//
+//	x := foo() //lint:ignore RULE reason
+//
+//	//lint:ignore RULE reason
+//	x := foo()
+//
+// Malformed directives (no rule, unknown rule, or missing reason) are
+// reported as findings themselves: a suppression that silently does
+// nothing is worse than none.
+func collectSuppressions(p *Package) (map[supKey]bool, []Finding) {
+	known := make(map[string]bool)
+	for _, c := range Checkers() {
+		known[c.Rule] = true
+	}
+
+	sup := make(map[supKey]bool)
+	var bad []Finding
+	for _, f := range p.Files {
+		for _, group := range f.AST.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:  pos,
+						Rule: RuleDirective,
+						Msg:  "malformed directive: want //lint:ignore RULE reason",
+					})
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				valid := true
+				for _, r := range rules {
+					if !known[r] {
+						bad = append(bad, Finding{
+							Pos:  pos,
+							Rule: RuleDirective,
+							Msg:  "directive names unknown rule " + r,
+						})
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				for _, r := range rules {
+					sup[supKey{pos.Filename, pos.Line, r}] = true
+					sup[supKey{pos.Filename, pos.Line + 1, r}] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// suppressed reports whether a finding is covered by a directive.
+func suppressed(sup map[supKey]bool, f Finding) bool {
+	return sup[supKey{f.Pos.Filename, f.Pos.Line, f.Rule}]
+}

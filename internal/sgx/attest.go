@@ -112,7 +112,7 @@ type AttestationService struct {
 	signer *ecdsa.PrivateKey
 
 	mu        sync.RWMutex
-	platforms map[[16]byte]*ecdsa.PublicKey
+	platforms map[[16]byte]*ecdsa.PublicKey // guarded by mu
 }
 
 // NewAttestationService creates a service with a fresh signing key.

@@ -27,7 +27,7 @@ type Enclave struct {
 	destroyed atomic.Bool
 
 	mu      sync.Mutex
-	heapEPC int64 // dynamic allocations charged via AllocEPC
+	heapEPC int64 // dynamic allocations charged via AllocEPC; guarded by mu
 
 	stats Stats
 }

@@ -128,7 +128,7 @@ type Platform struct {
 	config  PlatformConfig
 
 	mu      sync.Mutex
-	epcUsed int64
+	epcUsed int64 // guarded by mu
 }
 
 // NewPlatform manufactures a platform and provisions its attestation key

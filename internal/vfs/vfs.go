@@ -36,7 +36,7 @@ type VersionedStore struct {
 	store backend.Store
 
 	mu       sync.Mutex
-	versions map[string]uint64
+	versions map[string]uint64 // guarded by mu
 }
 
 var _ enclave.ObjectStore = (*VersionedStore)(nil)
