@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 30s
+CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint fuzz-smoke ci clean
+.PHONY: all build test race vet lint fuzz-smoke chaos ci clean
 
 all: build
 
@@ -29,8 +30,19 @@ lint:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzGCMSIVRoundTrip -fuzztime=$(FUZZTIME) ./internal/gcmsiv/
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/afs/
+	$(GO) test -run=^$$ -fuzz=FuzzRetrySchedule -fuzztime=$(FUZZTIME) ./internal/afs/
 
-ci: build vet lint race
+# chaos runs the seeded fault-injection suite (internal/afs/chaos_test.go
+# plus the disconnect property tests) under the race detector, once per
+# seed in CHAOS_SEEDS. Each seed is an exact replay: the fault schedule
+# is a pure function of the seed. See DESIGN.md §9.
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos seed $$seed =="; \
+		NEXUS_CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestProperty' -count=1 ./internal/afs/ || exit 1; \
+	done
+
+ci: build vet lint race chaos
 
 clean:
 	$(GO) clean ./...

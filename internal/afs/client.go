@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/backend"
 	"nexus/internal/netsim"
@@ -30,6 +31,16 @@ type ClientConfig struct {
 	// invalidates on the client's own writes. Used by tests and by the
 	// cache-ablation benchmark.
 	DisableCallbacks bool
+	// RPCTimeout bounds each RPC exchange (including server-side lock
+	// waits). 0 means DefaultRPCTimeout; negative disables deadlines.
+	RPCTimeout time.Duration
+	// Retry tunes automatic reconnect and idempotent-RPC retry; the
+	// zero value means defaults.
+	Retry RetryPolicy
+	// Dial overrides the transport dialer. Tests use it to route
+	// connections through a netsim fault injector. Nil means a plain
+	// netsim dial with Profile's costs.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // Client is a caching AFS client. It implements backend.Store, so a
@@ -40,18 +51,42 @@ type ClientConfig struct {
 // the client if another client changes the file, invalidating the cached
 // copy. Writes are write-through. Advisory locks are server-side and
 // exclusive.
+//
+// Failure model: every RPC exchange carries a deadline, and the client
+// reconnects automatically with seeded exponential backoff. Read-only
+// RPCs (fetch/stat/list/ping) are retried transparently across
+// reconnects; mutating RPCs are never re-sent — a mid-exchange failure
+// surfaces ErrInterrupted because the server may already have applied
+// the operation. Every reconnect flushes the whole-file cache, and the
+// cache is bypassed the instant the callback channel drops, so lost
+// invalidations can never yield stale reads.
 type Client struct {
 	id      string
-	conn    net.Conn
-	cbConn  net.Conn
+	addr    string
 	profile netsim.Profile
+	dialFn  func(addr string) (net.Conn, error)
+	timeout time.Duration
+	retry   *retryState
+	cbOff   bool
 
-	reqMu sync.Mutex // serializes request/response exchanges
-	reqID uint64
+	reqMu sync.Mutex // serializes request/response exchanges and reconnects
+	reqID uint64     // guarded by reqMu
+
+	connMu sync.Mutex // guards the live connection pointers
+	conn   net.Conn   // guarded by connMu
+	cbConn net.Conn   // guarded by connMu
+
+	// gen counts successful connects; it only changes under reqMu but is
+	// read lock-free by lock-release closures and the callback loop.
+	gen atomic.Uint64
+	// cbLost is set when the live callback channel drops: the cache is
+	// bypassed and the next RPC forces a full resync (reconnect + flush).
+	cbLost atomic.Bool
 
 	cache *fileCache
 
 	closed atomic.Bool
+	wg     sync.WaitGroup // callback-loop goroutines
 
 	// Stats for the benchmark breakdowns.
 	rpcs      atomic.Int64
@@ -60,16 +95,24 @@ type Client struct {
 
 var _ backend.Store = (*Client)(nil)
 
-// Dial connects to an AFS server at addr.
+// Dial connects to an AFS server at addr, retrying per the config's
+// RetryPolicy before giving up with ErrUnavailable.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
-	conn, err := netsim.Dial(addr, cfg.Profile)
-	if err != nil {
-		return nil, err
-	}
 	c := &Client{
 		id:      uuid.New().String(),
-		conn:    conn,
+		addr:    addr,
 		profile: cfg.Profile,
+		timeout: cfg.RPCTimeout,
+		retry:   newRetryState(cfg.Retry),
+		cbOff:   cfg.DisableCallbacks,
+		dialFn:  cfg.Dial,
+	}
+	if c.timeout == 0 {
+		c.timeout = DefaultRPCTimeout
+	}
+	if c.dialFn == nil {
+		profile := cfg.Profile
+		c.dialFn = func(addr string) (net.Conn, error) { return netsim.Dial(addr, profile) }
 	}
 	if cfg.CacheBytes >= 0 {
 		budget := cfg.CacheBytes
@@ -78,50 +121,114 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		}
 		c.cache = newFileCache(budget)
 	}
-	if err := c.hello(conn, false); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if !cfg.DisableCallbacks && c.cache != nil {
-		cbConn, err := netsim.Dial(addr, cfg.Profile)
-		if err != nil {
-			conn.Close()
-			return nil, err
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if lastErr = c.connectLocked(); lastErr == nil {
+			return c, nil
 		}
-		if err := c.hello(cbConn, true); err != nil {
-			conn.Close()
-			cbConn.Close()
-			return nil, err
+		if attempt >= c.retry.policy.MaxAttempts {
+			return nil, fmt.Errorf("afs: dial %s: %w: %w", addr, ErrUnavailable, lastErr)
 		}
-		c.cbConn = cbConn
-		go c.callbackLoop(cbConn)
+		time.Sleep(c.retry.wait(attempt))
 	}
-	return c, nil
 }
 
-func (c *Client) hello(conn net.Conn, isCallback bool) error {
-	w := serial.NewWriter(64)
-	w.WriteString(c.id)
-	w.WriteBool(isCallback)
-	if err := writeFrame(conn, frame{op: opHello, reqID: 0, body: w.Bytes()}); err != nil {
+// connectLocked performs one connection attempt: main channel, hello,
+// and (when enabled) the callback channel. On success it installs the
+// connections, bumps the generation, and flushes the cache — any
+// invalidations issued while disconnected were lost with the old
+// callback channel.
+func (c *Client) connectLocked() error {
+	conn, err := c.dialFn(c.addr)
+	if err != nil {
+		return fmt.Errorf("%w: dialing: %w", errTransport, err)
+	}
+	if err := c.hello(conn, false); err != nil {
+		_ = conn.Close()
 		return err
 	}
-	resp, err := readFrame(conn)
-	if err != nil {
-		return fmt.Errorf("afs: hello handshake: %w", err)
+	var cbConn net.Conn
+	if !c.cbOff && c.cache != nil {
+		cbConn, err = c.dialFn(c.addr)
+		if err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("%w: dialing callback channel: %w", errTransport, err)
+		}
+		if err := c.hello(cbConn, true); err != nil {
+			_ = conn.Close()
+			_ = cbConn.Close()
+			return err
+		}
 	}
-	if resp.op != opReply {
-		return fmt.Errorf("%w: hello rejected", ErrProtocol)
+	c.connMu.Lock()
+	c.conn = conn
+	c.cbConn = cbConn
+	c.connMu.Unlock()
+	c.gen.Add(1)
+	c.cbLost.Store(false)
+	if c.cache != nil {
+		c.cache.flush()
+	}
+	if cbConn != nil {
+		c.wg.Add(1)
+		go c.callbackLoop(cbConn)
 	}
 	return nil
 }
 
-// callbackLoop consumes invalidation frames until the channel drops.
+// dropConnLocked discards the live connections; the next RPC redials.
+func (c *Client) dropConnLocked() {
+	c.connMu.Lock()
+	conn, cbConn := c.conn, c.cbConn
+	c.conn, c.cbConn = nil, nil
+	c.connMu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if cbConn != nil {
+		_ = cbConn.Close()
+	}
+}
+
+// currentConn returns the live RPC connection, or nil.
+func (c *Client) currentConn() net.Conn {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn
+}
+
+func (c *Client) hello(conn net.Conn, isCallback bool) error {
+	if c.timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	}
+	w := serial.NewWriter(64)
+	w.WriteString(c.id)
+	w.WriteBool(isCallback)
+	if err := writeFrame(conn, frame{op: opHello, reqID: 0, body: w.Bytes()}); err != nil {
+		return transportFault("hello handshake", err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return transportFault("hello handshake", err)
+	}
+	if resp.op != opReply {
+		return fmt.Errorf("%w: %w: hello rejected", errTransport, ErrProtocol)
+	}
+	return nil
+}
+
+// callbackLoop consumes invalidation frames until the channel drops. If
+// it drops while still the live channel (server crash, network fault),
+// the cache is flushed and flagged so no stale entry is ever served.
 func (c *Client) callbackLoop(conn net.Conn) {
+	defer c.wg.Done()
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
-			return
+			break
 		}
 		if f.op != opInvalidate {
 			continue
@@ -134,6 +241,21 @@ func (c *Client) callbackLoop(conn net.Conn) {
 			c.cache.invalidate(name)
 		}
 	}
+	if c.closed.Load() {
+		return
+	}
+	c.connMu.Lock()
+	current := c.cbConn == conn
+	c.connMu.Unlock()
+	if current {
+		// Invalidations may have been lost: stop serving cached entries
+		// (readers check cbLost before the cache) and force the next RPC
+		// to resync via a full reconnect.
+		c.cbLost.Store(true)
+		if c.cache != nil {
+			c.cache.flush()
+		}
+	}
 }
 
 // Close terminates the client's connections.
@@ -141,33 +263,106 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	closeWrite(c.conn)
-	err := c.conn.Close()
-	if c.cbConn != nil {
-		_ = c.cbConn.Close()
+	c.connMu.Lock()
+	conn, cbConn := c.conn, c.cbConn
+	c.conn, c.cbConn = nil, nil
+	c.connMu.Unlock()
+	var err error
+	if conn != nil {
+		closeWrite(conn)
+		err = conn.Close()
 	}
+	if cbConn != nil {
+		_ = cbConn.Close()
+	}
+	c.wg.Wait()
 	return err
 }
 
-// call performs one RPC exchange.
+// transportFault wraps a connection-level failure, mapping deadline
+// misses to ErrTimeout.
+func transportFault(stage string, err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("%w: %s: %w", errTransport, stage, ErrTimeout)
+	}
+	return fmt.Errorf("%w: %s: %w", errTransport, stage, err)
+}
+
+// call performs one RPC, reconnecting and retrying per the client's
+// policy. Transport failures surface as typed errors: ErrUnavailable
+// when the request was never accepted, ErrInterrupted when a mutating
+// RPC died mid-exchange (outcome unknown), with ErrTimeout in the chain
+// when a deadline was missed.
 func (c *Client) call(op opCode, body []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		if err := c.ensureConnLocked(); err != nil {
+			// Dial-level failure: nothing was sent, safe to retry for
+			// every op.
+			lastErr = err
+		} else {
+			resp, err := c.exchangeLocked(op, body)
+			if err == nil || !errors.Is(err, errTransport) {
+				return resp, err
+			}
+			c.dropConnLocked()
+			if !retryable(op) {
+				return nil, fmt.Errorf("afs: %s: %w: %w", op, ErrInterrupted, err)
+			}
+			lastErr = err
+		}
+		if attempt >= c.retry.policy.MaxAttempts {
+			return nil, fmt.Errorf("afs: %s: %w: %w", op, ErrUnavailable, lastErr)
+		}
+		time.Sleep(c.retry.wait(attempt))
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+	}
+}
+
+// ensureConnLocked makes sure a healthy connection is installed,
+// resyncing first if the callback channel was lost.
+func (c *Client) ensureConnLocked() error {
+	if c.cbLost.Load() {
+		c.dropConnLocked()
+	}
+	if c.currentConn() != nil {
+		return nil
+	}
+	return c.connectLocked()
+}
+
+// exchangeLocked sends one request and reads its response on the live
+// connection, under the RPC deadline. Errors wrapping errTransport mean
+// the connection is no longer usable.
+func (c *Client) exchangeLocked(op opCode, body []byte) ([]byte, error) {
+	conn := c.currentConn()
 	c.reqID++
 	id := c.reqID
 	c.rpcs.Add(1)
-	if err := writeFrame(c.conn, frame{op: op, reqID: id, body: body}); err != nil {
-		return nil, err
+	if c.timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	}
-	resp, err := readFrame(c.conn)
+	if err := writeFrame(conn, frame{op: op, reqID: id, body: body}); err != nil {
+		return nil, transportFault("writing request", err)
+	}
+	resp, err := readFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("afs: reading response: %w", err)
+		return nil, transportFault("reading response", err)
 	}
 	if resp.reqID != id {
-		return nil, fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.reqID, id)
+		return nil, fmt.Errorf("%w: %w: response id %d for request %d", errTransport, ErrProtocol, resp.reqID, id)
 	}
 	switch resp.op {
 	case opReply:
@@ -175,7 +370,7 @@ func (c *Client) call(op opCode, body []byte) ([]byte, error) {
 	case opError:
 		return nil, decodeError(resp.body)
 	default:
-		return nil, fmt.Errorf("%w: unexpected op %d", ErrProtocol, resp.op)
+		return nil, fmt.Errorf("%w: %w: unexpected op %d", errTransport, ErrProtocol, resp.op)
 	}
 }
 
@@ -189,22 +384,8 @@ func (c *Client) Get(name string) ([]byte, error) {
 
 // Put implements backend.Store with write-through semantics.
 func (c *Client) Put(name string, data []byte) error {
-	w := serial.NewWriter(8 + len(name) + len(data))
-	w.WriteString(name)
-	w.WriteBytes(data)
-	body, err := c.call(opStore, w.Bytes())
-	if err != nil {
-		return err
-	}
-	r := serial.NewReader(body)
-	version := r.ReadUint64("version")
-	if err := r.Finish(); err != nil {
-		return err
-	}
-	if c.cache != nil {
-		c.cache.put(name, data, version)
-	}
-	return nil
+	_, err := c.PutVersioned(name, data)
+	return err
 }
 
 // Delete implements backend.Store. The deletion is remembered as a
@@ -244,10 +425,15 @@ func (c *Client) List(prefix string) ([]string, error) {
 // cached copy of the file: a pending invalidation may still be in
 // flight, and a locked read-modify-write must observe the latest
 // contents (AFS revalidates with the server on open).
+//
+// A lock does not survive reconnect: the server releases it when the
+// holding connection drops, so the release closure sends the unlock RPC
+// only while the acquiring connection generation is still live.
 func (c *Client) Lock(name string) (func(), error) {
 	if _, err := c.call(opLock, encodeName(name)); err != nil {
 		return nil, err
 	}
+	gen := c.gen.Load()
 	if c.cache != nil {
 		c.cache.invalidate(name)
 	}
@@ -257,6 +443,11 @@ func (c *Client) Lock(name string) (func(), error) {
 			return
 		}
 		released = true
+		if c.closed.Load() || c.gen.Load() != gen {
+			// The acquiring connection is gone; the server already
+			// released the lock on disconnect.
+			return
+		}
 		if _, err := c.call(opUnlock, encodeName(name)); err != nil && !c.closed.Load() {
 			// An unlock can only fail if the connection died, in which
 			// case the server releases the lock on disconnect anyway.
@@ -268,9 +459,10 @@ func (c *Client) Lock(name string) (func(), error) {
 // GetVersioned returns a file's contents and version, serving warm reads
 // from the cache. It lets the NEXUS enclave validate its in-enclave
 // decrypted-metadata cache against the same version stream that AFS
-// callbacks keep fresh.
+// callbacks keep fresh. The cache is bypassed while the callback channel
+// is down, so a lost invalidation can never produce a stale read.
 func (c *Client) GetVersioned(name string) ([]byte, uint64, error) {
-	if c.cache != nil {
+	if c.cache != nil && !c.cbLost.Load() {
 		data, negative, version, ok := c.cache.lookup(name)
 		if ok {
 			c.cacheHits.Add(1)
@@ -307,6 +499,11 @@ func (c *Client) PutVersioned(name string, data []byte) (uint64, error) {
 	w.WriteBytes(data)
 	body, err := c.call(opStore, w.Bytes())
 	if err != nil {
+		if c.cache != nil {
+			// The store may or may not have been applied; the cached copy
+			// is no longer trustworthy either way.
+			c.cache.invalidate(name)
+		}
 		return 0, err
 	}
 	r := serial.NewReader(body)
@@ -363,6 +560,16 @@ func (c *Client) FlushCache() {
 // Stats reports cumulative RPCs issued and cache hits served.
 func (c *Client) Stats() (rpcs, cacheHits int64) {
 	return c.rpcs.Load(), c.cacheHits.Load()
+}
+
+// Reconnects reports how many times the client re-established its
+// connection after the initial dial.
+func (c *Client) Reconnects() int64 {
+	g := int64(c.gen.Load())
+	if g <= 0 {
+		return 0
+	}
+	return g - 1
 }
 
 // fileCache is a byte-budgeted LRU of whole files.

@@ -26,6 +26,7 @@ type Server struct {
 	callbacks map[string]*callbackConn   // clientID -> callback channel; guarded by mu
 	locks     map[string]*lockState      // file -> lock queue; guarded by mu
 	listeners map[net.Listener]bool      // guarded by mu
+	conns     map[net.Conn]bool          // accepted connections; guarded by mu
 	closed    bool                       // guarded by mu
 
 	// Stats counters, reported by the benchmark harness.
@@ -62,7 +63,34 @@ func NewServer(store backend.Store) *Server {
 		callbacks: make(map[string]*callbackConn),
 		locks:     make(map[string]*lockState),
 		listeners: make(map[net.Listener]bool),
+		conns:     make(map[net.Conn]bool),
 		logf:      func(string, ...any) {},
+	}
+}
+
+// VersionSnapshot copies the per-file version counters. A restart
+// harness carries them into a replacement server via SetVersions, the
+// way a real AFS fileserver recovers data versions from its vice
+// partitions: without this, a restarted server would hand out version
+// numbers that alias pre-crash ones and defeat version-based cache
+// validation.
+func (s *Server) VersionSnapshot() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.versions))
+	for name, v := range s.versions {
+		out[name] = v
+	}
+	return out
+}
+
+// SetVersions seeds the per-file version counters, typically from a
+// previous server's VersionSnapshot. It must be called before Serve.
+func (s *Server) SetVersions(versions map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, v := range versions {
+		s.versions[name] = v
 	}
 }
 
@@ -109,6 +137,14 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("afs: accept: %w", err)
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
 }
@@ -130,6 +166,10 @@ func (s *Server) Close() error {
 	for _, cb := range s.callbacks {
 		callbacks = append(callbacks, cb)
 	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 
 	for _, l := range listeners {
@@ -140,6 +180,12 @@ func (s *Server) Close() error {
 	for _, cb := range callbacks {
 		_ = cb.conn.Close()
 	}
+	// Closing accepted connections fails their pending reads, so every
+	// handleConn goroutine exits — the chaos suite's goroutine-leak check
+	// depends on a Close leaving nothing behind.
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	return nil
 }
 
@@ -147,7 +193,12 @@ func (s *Server) Close() error {
 // Hello identifying the client and declaring whether this connection is
 // the RPC channel or the callback channel.
 func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 
 	hello, err := readFrame(conn)
 	if err != nil {

@@ -54,6 +54,38 @@ const (
 	opInvalidate opCode = 120
 )
 
+// String names the op for error messages.
+func (op opCode) String() string {
+	switch op {
+	case opHello:
+		return "hello"
+	case opFetch:
+		return "fetch"
+	case opStore:
+		return "store"
+	case opRemove:
+		return "remove"
+	case opList:
+		return "list"
+	case opLock:
+		return "lock"
+	case opUnlock:
+		return "unlock"
+	case opStat:
+		return "stat"
+	case opPing:
+		return "ping"
+	case opReply:
+		return "reply"
+	case opError:
+		return "error"
+	case opInvalidate:
+		return "invalidate"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
 // Wire error codes, mapped back to sentinel errors client-side.
 type errCode uint8
 

@@ -1,0 +1,158 @@
+package afs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"nexus/internal/backend"
+)
+
+// Every error frame path: each wire error code must map back to the
+// right Go sentinel, and malformed error bodies must degrade to
+// ErrProtocol rather than panic or silently succeed.
+func TestDecodeErrorTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		body     []byte
+		sentinel error // required in the chain, nil if none
+		contains string
+	}{
+		{
+			name:     "not-exist maps to backend.ErrNotExist",
+			body:     encodeError(errCodeNotExist, "obj-1"),
+			sentinel: backend.ErrNotExist,
+			contains: "obj-1",
+		},
+		{
+			name:     "bad-name maps to backend.ErrBadName",
+			body:     encodeError(errCodeBadName, "../evil"),
+			sentinel: backend.ErrBadName,
+			contains: "../evil",
+		},
+		{
+			name:     "bad-request is a plain server error",
+			body:     encodeError(errCodeBadRequest, "short body"),
+			contains: "short body",
+		},
+		{
+			name:     "internal is a plain server error",
+			body:     encodeError(errCodeInternal, "disk on fire"),
+			contains: "disk on fire",
+		},
+		{
+			name:     "unknown code degrades to ErrProtocol",
+			body:     encodeError(errCode(200), "future code"),
+			sentinel: ErrProtocol,
+			contains: "200",
+		},
+		{
+			name:     "empty body is ErrProtocol",
+			body:     nil,
+			sentinel: ErrProtocol,
+		},
+		{
+			name:     "truncated message field is ErrProtocol",
+			body:     []byte{byte(errCodeNotExist), 0xff, 0xff, 0xff},
+			sentinel: ErrProtocol,
+		},
+		{
+			name:     "trailing junk is ErrProtocol",
+			body:     append(encodeError(errCodeNotExist, "x"), 0xde, 0xad),
+			sentinel: ErrProtocol,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := decodeError(tc.body)
+			if err == nil {
+				t.Fatal("decodeError returned nil")
+			}
+			if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+				t.Fatalf("error %q does not wrap %v", err, tc.sentinel)
+			}
+			if tc.sentinel == nil {
+				// Plain server errors must NOT match any sentinel a caller
+				// would branch on.
+				for _, s := range []error{backend.ErrNotExist, backend.ErrBadName, ErrProtocol} {
+					if errors.Is(err, s) {
+						t.Fatalf("plain server error %q wraps %v", err, s)
+					}
+				}
+			}
+			if tc.contains != "" && !strings.Contains(err.Error(), tc.contains) {
+				t.Fatalf("error %q missing %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	f := frame{op: opStore, body: make([]byte, maxFrameSize)}
+	if err := writeFrame(&buf, f); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversize frame: %v, want ErrProtocol", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversize frame leaked %d bytes onto the wire", buf.Len())
+	}
+}
+
+func TestReadFrameErrorPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		data     []byte
+		sentinel error
+	}{
+		{"empty stream is clean EOF", nil, io.EOF},
+		{"mid-header cut is clean EOF", []byte{0x09, 0x00}, io.EOF},
+		{"zero length is ErrProtocol", []byte{0, 0, 0, 0}, ErrProtocol},
+		{"length below header min is ErrProtocol", []byte{0x08, 0, 0, 0}, ErrProtocol},
+		{"absurd length is ErrProtocol", []byte{0xff, 0xff, 0xff, 0xff}, ErrProtocol},
+		{"mid-body cut is an error", []byte{0x0a, 0x00, 0x00, 0x00, byte(opPing), 1, 0, 0, 0, 0, 0, 0}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readFrame(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("readFrame accepted malformed input")
+			}
+			if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+				t.Fatalf("got %v, want %v in chain", err, tc.sentinel)
+			}
+		})
+	}
+}
+
+func TestReadFrameRoundTrip(t *testing.T) {
+	for _, f := range []frame{
+		{op: opPing, reqID: 1},
+		{op: opStore, reqID: 1 << 60, body: []byte("payload")},
+		{op: opInvalidate, reqID: 0, body: encodeName("file-7")},
+	} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.op != f.op || got.reqID != f.reqID || !bytes.Equal(got.body, f.body) {
+			t.Fatalf("round trip: %+v != %+v", got, f)
+		}
+	}
+}
+
+func TestOpCodeStrings(t *testing.T) {
+	for op, want := range map[opCode]string{
+		opFetch: "fetch", opStore: "store", opLock: "lock",
+		opCode(250): "op(250)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("opCode(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}

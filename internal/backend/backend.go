@@ -54,7 +54,29 @@ var (
 	ErrNotExist = errors.New("backend: object does not exist")
 	// ErrBadName reports an invalid object name.
 	ErrBadName = errors.New("backend: invalid object name")
+
+	// The three failure sentinels below type the storage substrate's
+	// transport faults, so layers above a remote store (enclave,
+	// cryptofs, vfs) can react to an unreliable service without
+	// importing it. Local stores never return them.
+
+	// ErrUnavailable reports that the storage service could not be
+	// reached: the operation was never delivered and was NOT applied.
+	ErrUnavailable = errors.New("backend: storage service unavailable")
+	// ErrTimeout reports an operation that missed its deadline.
+	ErrTimeout = errors.New("backend: storage operation timed out")
+	// ErrInterrupted reports a non-idempotent operation whose connection
+	// failed mid-exchange: the operation MAY have been applied, and the
+	// caller must re-validate before retrying.
+	ErrInterrupted = errors.New("backend: operation interrupted; outcome unknown")
 )
+
+// IsUnavailable reports whether err is any flavour of storage-substrate
+// failure: unreachable service, missed deadline, or an interrupted
+// exchange.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrInterrupted)
+}
 
 // ValidateName rejects names that are empty or contain path separators;
 // stores share this so a hostile name cannot escape a directory-backed

@@ -215,10 +215,23 @@ func (fs *FS) encryptAndStoreLocked(p string, data []byte, readers []string) err
 		w.WriteBytes(wrapped)
 	}
 
+	// Fail-closed ordering on an unreliable store: the ciphertext goes up
+	// before the key block. If the key-block write dies (unavailable or
+	// interrupted with unknown outcome), readers hold the OLD key block,
+	// which cannot decrypt the new ciphertext — the file reads as
+	// corrupt, never as a silent mix of old keys and new plaintext. The
+	// reverse order could expose a new reader set to content they were
+	// just revoked from.
 	if err := fs.store.Put(dataName(p), ct); err != nil {
+		if backend.IsUnavailable(err) {
+			return fmt.Errorf("cryptofs: uploading ciphertext for %s: %w", p, err)
+		}
 		return err
 	}
 	if err := fs.store.Put(keysName(p), w.Bytes()); err != nil {
+		if backend.IsUnavailable(err) {
+			return fmt.Errorf("cryptofs: uploading key block for %s (ciphertext already replaced; old keys cannot decrypt it): %w", p, err)
+		}
 		return err
 	}
 	fs.stats.BytesUploaded += int64(len(ct) + w.Len())

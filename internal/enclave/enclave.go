@@ -67,6 +67,12 @@ var (
 	// ErrStaleMetadata reports a rollback: the storage service returned
 	// an object older than one this enclave has already seen (§VI-C).
 	ErrStaleMetadata = errors.New("enclave: stale metadata (rollback detected)")
+	// ErrStoreUnavailable reports that the backing store could not
+	// complete an ocall: the service was unreachable, the operation
+	// timed out, or a mutating exchange was interrupted with unknown
+	// outcome. It wraps the underlying backend sentinel, so callers can
+	// distinguish the three via errors.Is.
+	ErrStoreUnavailable = errors.New("enclave: storage unavailable or interrupted")
 	// ErrBadAuth reports a failed challenge-response.
 	ErrBadAuth = errors.New("enclave: authentication failed")
 	// ErrExists, ErrNotFound, ErrNotDir, ErrNotFile, ErrNotEmpty mirror

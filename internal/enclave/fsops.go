@@ -51,6 +51,11 @@ func splitPath(path string) (dirs []string, base string, err error) {
 // safe to retry. A *persistent* mismatch is the real signal — a rolled
 // back or substituted bucket (§V-B) — and is surfaced after the bounded
 // retries.
+//
+// Storage-substrate faults (ErrStoreUnavailable) are deliberately NOT
+// retried here: idempotent-RPC retry lives in the AFS client, and a
+// mutating operation that died with unknown outcome must surface so the
+// caller can re-validate instead of blindly re-running the ecall.
 func (e *Enclave) retryTornEcall(fn func() error) error {
 	var err error
 	for attempt := 0; ; attempt++ {

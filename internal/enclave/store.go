@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"nexus/internal/backend"
 	"nexus/internal/metadata"
 	"nexus/internal/sgx"
 	"nexus/internal/uuid"
@@ -84,10 +85,17 @@ func objName(id uuid.UUID) string { return id.String() }
 
 // timedOcall runs fn as an ocall, charging its wall time to the given
 // accumulator (metadata vs data I/O, for the Table 5a/5b breakdowns).
+// It is the single choke point for all store I/O, so storage-substrate
+// faults (unreachable service, timeout, interrupted exchange) are
+// classified here: they gain the ErrStoreUnavailable sentinel while
+// keeping the backend sentinel in the chain.
 func (e *Enclave) timedOcall(acc *time.Duration, fn func() error) error {
 	start := time.Now()
 	err := e.sgx.Ocall(fn)
 	*acc += time.Since(start)
+	if err != nil && backend.IsUnavailable(err) {
+		return fmt.Errorf("%w: %w", ErrStoreUnavailable, err)
+	}
 	return err
 }
 

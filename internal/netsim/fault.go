@@ -1,0 +1,306 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the deterministic fault-injection layer beneath the AFS
+// substrate. A FaultProfile is a *pure function of its seed*: the
+// decision for the n-th dial and the n-th write is computed by hashing
+// (seed, n), not by stepping shared mutable RNG state. Concurrent
+// clients may therefore interleave arbitrarily — which operation lands
+// on which schedule slot varies — but the schedule itself (slot →
+// fault) is reproducible byte-for-byte from the seed, which is what the
+// chaos suite's fixed-seed CI matrix relies on.
+
+// ErrInjected marks failures manufactured by the fault injector, so
+// tests can tell injected faults from real ones.
+var ErrInjected = errors.New("netsim: injected fault")
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind uint8
+
+const (
+	// FaultNone is the no-fault decision.
+	FaultNone FaultKind = iota
+	// FaultDialRefused fails a Dial outright (server unreachable).
+	FaultDialRefused
+	// FaultCutConn closes the connection before a write, dropping the
+	// frame entirely.
+	FaultCutConn
+	// FaultTruncateWrite delivers a prefix of the write and then closes
+	// the connection — the peer observes a mid-frame cut.
+	FaultTruncateWrite
+	// FaultLatencySpike delays a write without corrupting it.
+	FaultLatencySpike
+	// FaultServerRestart is a scripted kill/restart point, surfaced on
+	// Injector.Restarts rather than applied to a connection.
+	FaultServerRestart
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDialRefused:
+		return "dial-refused"
+	case FaultCutConn:
+		return "cut"
+	case FaultTruncateWrite:
+		return "truncate"
+	case FaultLatencySpike:
+		return "spike"
+	case FaultServerRestart:
+		return "server-restart"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// FaultEvent is one scheduled decision.
+type FaultEvent struct {
+	Kind FaultKind
+	// Frac is the fraction of the buffer delivered for truncations,
+	// in [0.05, 0.95].
+	Frac float64
+	// Delay is the injected latency for spikes.
+	Delay time.Duration
+}
+
+// String renders the event; Schedule concatenates these, so the format
+// is part of the reproducibility contract.
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultTruncateWrite:
+		return fmt.Sprintf("truncate(%.3f)", e.Frac)
+	case FaultLatencySpike:
+		return fmt.Sprintf("spike(%s)", e.Delay)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// FaultProfile configures a seeded fault schedule. The zero value
+// injects nothing. Probabilities are in [0, 1] and are evaluated
+// per-slot: DialRefuse on each dial, and Cut/Truncate/Spike (in that
+// precedence order) on each connection write.
+type FaultProfile struct {
+	Seed int64
+	// DialRefuse is the probability a dial attempt is refused.
+	DialRefuse float64
+	// Cut is the probability a write's connection is severed before any
+	// bytes are delivered.
+	Cut float64
+	// Truncate is the probability a write is delivered as a mid-frame
+	// prefix before the connection is severed.
+	Truncate float64
+	// Spike is the probability a write is delayed by up to SpikeMax.
+	Spike float64
+	// SpikeMax bounds injected latency spikes; 0 means 2ms.
+	SpikeMax time.Duration
+	// RestartAfterFaults lists scripted server kill/restart points: a
+	// restart signal is emitted when the cumulative injected-fault count
+	// first reaches each listed value.
+	RestartAfterFaults []int64
+}
+
+// IsZero reports whether the profile never injects anything.
+func (p FaultProfile) IsZero() bool {
+	return p.DialRefuse == 0 && p.Cut == 0 && p.Truncate == 0 && p.Spike == 0 &&
+		len(p.RestartAfterFaults) == 0
+}
+
+// Distinct per-stream salts keep the dial and write schedules
+// independent of each other while sharing one seed.
+const (
+	dialSalt  = 0xD1A1D1A1D1A1D1A1
+	writeSalt = 0x3717371737173717
+)
+
+// roll hashes (seed, salt, slot) into three independent uniform values:
+// a probability draw and two parameter draws.
+func (p FaultProfile) roll(salt, slot uint64) (prob, a, b float64) {
+	h := splitmix64(uint64(p.Seed) ^ salt ^ (slot+1)*splitmixGamma)
+	prob = float64(h>>11) / (1 << 53)
+	h2 := splitmix64(h)
+	a = float64(h2>>11) / (1 << 53)
+	h3 := splitmix64(h2)
+	b = float64(h3>>11) / (1 << 53)
+	return prob, a, b
+}
+
+// DialFault returns the scheduled decision for the n-th dial (counted
+// from zero). It is a pure function of (Seed, n).
+func (p FaultProfile) DialFault(n uint64) FaultEvent {
+	prob, _, _ := p.roll(dialSalt, n)
+	if prob < p.DialRefuse {
+		return FaultEvent{Kind: FaultDialRefused}
+	}
+	return FaultEvent{Kind: FaultNone}
+}
+
+// WriteFault returns the scheduled decision for the n-th connection
+// write (counted from zero). It is a pure function of (Seed, n).
+func (p FaultProfile) WriteFault(n uint64) FaultEvent {
+	prob, a, _ := p.roll(writeSalt, n)
+	switch {
+	case prob < p.Cut:
+		return FaultEvent{Kind: FaultCutConn}
+	case prob < p.Cut+p.Truncate:
+		return FaultEvent{Kind: FaultTruncateWrite, Frac: 0.05 + 0.9*a}
+	case prob < p.Cut+p.Truncate+p.Spike:
+		bound := p.SpikeMax
+		if bound <= 0 {
+			bound = 2 * time.Millisecond
+		}
+		return FaultEvent{Kind: FaultLatencySpike, Delay: time.Duration(a * float64(bound))}
+	default:
+		return FaultEvent{Kind: FaultNone}
+	}
+}
+
+// Schedule renders the first dials dial-slots and writes write-slots of
+// the schedule. Two profiles with equal fields produce byte-for-byte
+// identical output — the reproducibility contract the chaos suite
+// asserts.
+func (p FaultProfile) Schedule(dials, writes int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d restart-after=%v\n", p.Seed, p.RestartAfterFaults)
+	for i := 0; i < dials; i++ {
+		fmt.Fprintf(&sb, "dial[%d]: %s\n", i, p.DialFault(uint64(i)))
+	}
+	for i := 0; i < writes; i++ {
+		fmt.Fprintf(&sb, "write[%d]: %s\n", i, p.WriteFault(uint64(i)))
+	}
+	return sb.String()
+}
+
+// Injector applies a FaultProfile to live connections. All methods are
+// safe for concurrent use.
+type Injector struct {
+	profile FaultProfile
+
+	dialSlot  atomic.Uint64
+	writeSlot atomic.Uint64
+	injected  atomic.Int64
+	disabled  atomic.Bool
+
+	restartMu sync.Mutex
+	pending   []int64 // ascending restart thresholds not yet fired; guarded by restartMu
+
+	restarts chan struct{}
+}
+
+// NewInjector builds an injector for the profile.
+func NewInjector(p FaultProfile) *Injector {
+	pending := append([]int64(nil), p.RestartAfterFaults...)
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	return &Injector{
+		profile:  p,
+		pending:  pending,
+		restarts: make(chan struct{}, len(pending)+1),
+	}
+}
+
+// Profile returns the injector's schedule.
+func (in *Injector) Profile() FaultProfile { return in.profile }
+
+// Faults returns the cumulative number of injected faults.
+func (in *Injector) Faults() int64 { return in.injected.Load() }
+
+// Restarts delivers one signal per scripted server kill/restart point.
+// The test harness owning the server consumes it.
+func (in *Injector) Restarts() <-chan struct{} { return in.restarts }
+
+// Disable stops all further injection (the healing phase of a chaos
+// run); already-severed connections stay severed.
+func (in *Injector) Disable() { in.disabled.Store(true) }
+
+// noteFault counts an injected fault and fires any scripted restart
+// whose threshold it crosses.
+func (in *Injector) noteFault() {
+	n := in.injected.Add(1)
+	in.restartMu.Lock()
+	fired := 0
+	for fired < len(in.pending) && n >= in.pending[fired] {
+		fired++
+	}
+	in.pending = in.pending[fired:]
+	in.restartMu.Unlock()
+	for i := 0; i < fired; i++ {
+		select {
+		case in.restarts <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Dialer returns a dial function that consults the dial schedule and
+// wraps successful connections with both the network profile's costs
+// and the write schedule.
+func (in *Injector) Dialer(netp Profile) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if !in.disabled.Load() {
+			slot := in.dialSlot.Add(1) - 1
+			if ev := in.profile.DialFault(slot); ev.Kind == FaultDialRefused {
+				in.noteFault()
+				return nil, fmt.Errorf("%w: dial %s refused (slot %d)", ErrInjected, addr, slot)
+			}
+		}
+		c, err := Dial(addr, netp)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: c, in: in}, nil
+	}
+}
+
+// faultConn applies the write schedule to one connection. A cut or
+// truncation closes the underlying connection so both directions fail,
+// like a mid-frame TCP reset.
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	if fc.in.disabled.Load() {
+		return fc.Conn.Write(b)
+	}
+	slot := fc.in.writeSlot.Add(1) - 1
+	ev := fc.in.profile.WriteFault(slot)
+	switch ev.Kind {
+	case FaultCutConn:
+		fc.in.noteFault()
+		_ = fc.Conn.Close()
+		return 0, fmt.Errorf("%w: connection cut before write (slot %d)", ErrInjected, slot)
+	case FaultTruncateWrite:
+		fc.in.noteFault()
+		n := int(ev.Frac * float64(len(b)))
+		if n >= len(b) {
+			n = len(b) - 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > 0 {
+			_, _ = fc.Conn.Write(b[:n])
+		}
+		_ = fc.Conn.Close()
+		return n, fmt.Errorf("%w: write truncated at %d/%d bytes (slot %d)", ErrInjected, n, len(b), slot)
+	case FaultLatencySpike:
+		fc.in.noteFault()
+		time.Sleep(ev.Delay)
+		return fc.Conn.Write(b)
+	default:
+		return fc.Conn.Write(b)
+	}
+}

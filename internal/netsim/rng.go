@@ -1,0 +1,72 @@
+package netsim
+
+import "sync"
+
+// Rand is a small deterministic PRNG (SplitMix64) shared by the fault
+// injector, the chaos tests, and the AFS client's retry jitter. It is
+// intentionally not math/rand: the repo's no-math-rand lint rule keeps
+// math/rand out of non-test code, and SplitMix64's stateless step makes
+// fault schedules reproducible byte-for-byte from a seed alone.
+//
+// Rand is NOT cryptographically secure; nothing security-relevant may be
+// derived from it.
+type Rand struct {
+	mu    sync.Mutex
+	state uint64 // guarded by mu
+}
+
+// NewRand returns a deterministic generator for the seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{state: uint64(seed)}
+}
+
+const splitmixGamma = 0x9E3779B97F4A7C15
+
+// splitmix64 is the SplitMix64 output function: a bijective mix of x.
+func splitmix64(x uint64) uint64 {
+	z := x
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.mu.Lock()
+	r.state += splitmixGamma
+	z := splitmix64(r.state)
+	r.mu.Unlock()
+	return z
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("netsim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Read fills b with deterministic bytes and never fails.
+func (r *Rand) Read(b []byte) (int, error) {
+	for i := 0; i < len(b); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(b), nil
+}

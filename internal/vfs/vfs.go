@@ -266,6 +266,15 @@ func (fs *FS) Walk(root string, fn func(p string, entry DirEntry) error) error {
 // ErrSkipDir tells Walk to skip a directory's contents.
 var ErrSkipDir = errors.New("vfs: skip directory")
 
+// IsUnavailable reports whether err is a storage-substrate failure —
+// the backing service unreachable, an operation past its deadline, or a
+// mutating exchange interrupted with unknown outcome. Applications can
+// treat these as transient: the data buffered in an open handle is
+// intact and the operation may be retried (see File.Close).
+func IsUnavailable(err error) bool {
+	return errors.Is(err, enclave.ErrStoreUnavailable) || backend.IsUnavailable(err)
+}
+
 // SetACL grants rights to a user on a directory (acl.None revokes).
 func (fs *FS) SetACL(dirPath, userName string, rights acl.Rights) error {
 	return fs.e.SetACL(dirPath, userName, rights)
@@ -448,7 +457,12 @@ func (f *File) syncLocked() error {
 	return nil
 }
 
-// Close flushes dirty contents and invalidates the handle.
+// Close flushes dirty contents and invalidates the handle. If the flush
+// fails because the storage substrate is unavailable (IsUnavailable),
+// the handle stays open with its buffer intact so the caller can retry
+// Close (or Sync) once the service recovers — closing would discard the
+// only surviving copy of the data. Any other failure invalidates the
+// handle as usual.
 func (f *File) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -456,6 +470,9 @@ func (f *File) Close() error {
 		return nil
 	}
 	err := f.syncLocked()
+	if err != nil && IsUnavailable(err) {
+		return err
+	}
 	f.open = false
 	f.buf = nil
 	return err
