@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint fuzz-smoke chaos ci clean
+.PHONY: all build test race vet lint fuzz-smoke chaos bench bench-baseline cover ci clean
 
 all: build
 
@@ -41,6 +41,23 @@ chaos:
 		echo "== chaos seed $$seed =="; \
 		NEXUS_CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestProperty' -count=1 ./internal/afs/ || exit 1; \
 	done
+
+# bench mirrors the CI perf gate: rerun the fast file-I/O experiment,
+# write BENCH_<rev>.json, and diff it against the committed baseline.
+bench:
+	$(GO) build -o bin/ ./cmd/nexus-bench ./cmd/nexus-benchdiff
+	./bin/nexus-bench -exp fileio -scale 1024 -json
+	./bin/nexus-benchdiff -baseline bench/baseline.json -current BENCH_$$(git rev-parse --short HEAD).json
+
+# bench-baseline refreshes the committed baseline after an intentional
+# performance change (see README.md before running this).
+bench-baseline:
+	$(GO) run ./cmd/nexus-bench -exp fileio -scale 1024 -json -out bench/baseline.json
+
+# cover reports coverage on the packages gated by the CI floor.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/metadata/ ./internal/gcmsiv/
+	$(GO) tool cover -func=cover.out | tail -1
 
 ci: build vet lint race chaos
 

@@ -3,19 +3,26 @@
 //
 // Usage:
 //
-//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|sharing]
+//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto]
 //	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
 //	            [-entries N] [-transition duration] [-no-cache]
+//	            [-workers N] [-json] [-out FILE] [-crypto-workers LIST]
 //
 // -scale divides workload file *sizes* (never counts) so paper-scale
 // experiments (-scale 1) and quick runs (-scale 1024) use identical
 // operation mixes. The defaults complete in a few minutes.
+//
+// -json additionally writes a schema-versioned machine-readable report
+// (ns/op, MB/s, allocs per experiment) to BENCH_<rev>.json — or -out —
+// for cmd/nexus-benchdiff and the CI regression gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"nexus/internal/bench"
@@ -31,7 +38,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|sharing|ablation")
+	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto|ablation")
 	scale := flag.Int64("scale", 64, "divide workload file sizes by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "repetitions averaged per measurement")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated network round-trip time")
@@ -40,6 +47,10 @@ func run() error {
 	transition := flag.Duration("transition", 4*time.Microsecond, "simulated enclave transition cost")
 	noCache := flag.Bool("no-cache", false, "disable the in-enclave metadata cache (ablation)")
 	dirCounts := flag.String("dirs", "1024,2048,4096,8192", "comma-separated file counts for dirops")
+	workers := flag.Int("workers", 0, "chunk-crypto fan-out inside the enclave pipeline (0 = auto, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
+	outPath := flag.String("out", "", "report path for -json (default BENCH_<rev>.json)")
+	cryptoWorkers := flag.String("crypto-workers", "1,2,4,8", "comma-separated worker counts for the crypto experiment")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -47,6 +58,7 @@ func run() error {
 		TransitionCost:       *transition,
 		Runs:                 *runs,
 		Scale:                *scale,
+		CryptoWorkers:        *workers,
 		DisableMetadataCache: *noCache,
 	}
 	if *bw == 0 {
@@ -55,6 +67,11 @@ func run() error {
 
 	fmt.Printf("NEXUS evaluation harness — rtt=%v bw=%dMiB/s scale=%d runs=%d transition=%v cache=%v\n\n",
 		*rtt, *bw, *scale, *runs, *transition, !*noCache)
+
+	var report *bench.Report
+	if *jsonOut {
+		report = bench.NewReport(gitRev(), *scale)
+	}
 
 	env, err := bench.NewEnv(cfg)
 	if err != nil {
@@ -70,6 +87,20 @@ func run() error {
 			return fmt.Errorf("fileio: %w", err)
 		}
 		bench.PrintFileIO(os.Stdout, rows)
+		if report != nil {
+			for _, r := range rows {
+				size := int64(r.SizeMB) << 20 / *scale
+				if size < 1 {
+					size = 1
+				}
+				// The workload writes the file and reads it back, so
+				// 2×size bytes cross the crypto pipeline per op.
+				report.Add("fileio", fmt.Sprintf("write_read_%dMB", r.SizeMB), bench.Metric{
+					NsPerOp:  float64(r.Nexus.Nanoseconds()),
+					MBPerSec: float64(2*size) / r.Nexus.Seconds() / (1 << 20),
+				})
+			}
+		}
 	}
 	if want("dirops") {
 		var counts []int
@@ -121,6 +152,25 @@ func run() error {
 		}
 		bench.PrintSharing(os.Stdout, rows)
 	}
+	if want("crypto") {
+		var workers []int
+		for _, s := range splitCSV(*cryptoWorkers) {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 1 {
+				return fmt.Errorf("bad -crypto-workers value %q", s)
+			}
+			workers = append(workers, n)
+		}
+		size := int64(16) << 20 / *scale
+		rows, err := bench.ChunkCrypto(size, cfg.ChunkSize, workers)
+		if err != nil {
+			return fmt.Errorf("crypto: %w", err)
+		}
+		bench.PrintChunkCrypto(os.Stdout, rows)
+		if report != nil {
+			report.Experiments["crypto"] = bench.ChunkCryptoMetrics(rows)
+		}
+	}
 	if *exp == "ablation" {
 		const files = 512
 		rows, err := bench.Ablation(cfg, files)
@@ -129,7 +179,32 @@ func run() error {
 		}
 		bench.PrintAblation(os.Stdout, files, rows)
 	}
+
+	if report != nil {
+		path := *outPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", report.Rev)
+		}
+		if err := report.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 	return nil
+}
+
+// gitRev names the report after the checked-out revision; outside a git
+// checkout (or without git) reports are stamped "dev".
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return "dev"
+	}
+	return rev
 }
 
 func splitCSV(s string) []string {

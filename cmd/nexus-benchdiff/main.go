@@ -1,0 +1,58 @@
+// nexus-benchdiff compares two machine-readable bench reports written
+// by `nexus-bench -json` and exits non-zero when the current run
+// regressed beyond tolerance. It is the CI perf gate:
+//
+//	nexus-benchdiff -baseline bench/baseline.json -current BENCH_abc1234.json
+//
+// A metric regresses when its ns/op exceeds the baseline by more than
+// -tolerance (fractional; default 0.2 = 20%), or when a baseline metric
+// is missing from the current report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nexus/internal/bench"
+	"nexus/internal/bench/compare"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline report (required)")
+	current := flag.String("current", "", "current report (required)")
+	tolerance := flag.Float64("tolerance", 0.2, "allowed fractional slowdown before failing")
+	flag.Parse()
+
+	if err := run(*baseline, *current, *tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "nexus-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath string, tolerance float64) error {
+	if baselinePath == "" || currentPath == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	base, err := bench.LoadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := bench.LoadReport(currentPath)
+	if err != nil {
+		return err
+	}
+
+	deltas, regressed, err := compare.Diff(base, cur, tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline %s (%d cpus) vs current %s (%d cpus), tolerance +%.0f%%\n",
+		base.Rev, base.CPUs, cur.Rev, cur.CPUs, tolerance*100)
+	compare.Format(os.Stdout, deltas, tolerance)
+	if regressed {
+		return fmt.Errorf("performance regression beyond +%.0f%% tolerance", tolerance*100)
+	}
+	fmt.Println("no regressions")
+	return nil
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"nexus/internal/metadata"
+	"nexus/internal/uuid"
+	"nexus/internal/workload"
+)
+
+// ChunkCryptoRow is one worker-count column of the chunk-crypto
+// microbenchmark: encrypting and decrypting a fixed buffer through the
+// Filenode pipeline at a given fan-out.
+type ChunkCryptoRow struct {
+	Workers        int
+	Bytes          int64
+	EncryptNsPerOp int64
+	EncryptMBPerS  float64
+	EncryptAllocs  int64
+	DecryptNsPerOp int64
+	DecryptMBPerS  float64
+	DecryptAllocs  int64
+	// Speedup is serial encrypt time over this row's encrypt time
+	// (1.0 for the workers=1 row; >1 means the fan-out helped).
+	Speedup float64
+}
+
+// ChunkCrypto benchmarks EncryptContentWorkers/DecryptContentWorkers on
+// a sizeBytes buffer at each worker count, via testing.Benchmark so the
+// numbers carry ns/op and allocs/op like a `go test -bench` run.
+func ChunkCrypto(sizeBytes int64, chunkSize uint32, workerCounts []int) ([]ChunkCryptoRow, error) {
+	if sizeBytes < 1 {
+		sizeBytes = 1
+	}
+	if chunkSize == 0 {
+		chunkSize = metadata.DefaultChunkSize
+	}
+	data := workload.NewContent(1).Fill(sizeBytes)
+
+	rows := make([]ChunkCryptoRow, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		f := metadata.NewFilenode(uuid.New(), uuid.Nil, chunkSize)
+		var benchErr error
+
+		enc := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(sizeBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := f.EncryptContentWorkers(data, w); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench: chunkcrypto encrypt w=%d: %w", w, benchErr)
+		}
+
+		blob, err := f.EncryptContentWorkers(data, w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: chunkcrypto w=%d: %w", w, err)
+		}
+		dec := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(sizeBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := f.DecryptContentWorkers(blob, w); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench: chunkcrypto decrypt w=%d: %w", w, benchErr)
+		}
+
+		rows = append(rows, ChunkCryptoRow{
+			Workers:        w,
+			Bytes:          sizeBytes,
+			EncryptNsPerOp: enc.NsPerOp(),
+			EncryptMBPerS:  mbPerSec(sizeBytes, enc),
+			EncryptAllocs:  enc.AllocsPerOp(),
+			DecryptNsPerOp: dec.NsPerOp(),
+			DecryptMBPerS:  mbPerSec(sizeBytes, dec),
+			DecryptAllocs:  dec.AllocsPerOp(),
+		})
+	}
+
+	// Speedup is relative to the slowest-common-denominator serial row;
+	// without one (no workers=1 in the sweep) it stays zero.
+	for _, base := range rows {
+		if base.Workers != 1 || base.EncryptNsPerOp <= 0 {
+			continue
+		}
+		for i := range rows {
+			if rows[i].EncryptNsPerOp > 0 {
+				rows[i].Speedup = float64(base.EncryptNsPerOp) / float64(rows[i].EncryptNsPerOp)
+			}
+		}
+		break
+	}
+	return rows, nil
+}
+
+func mbPerSec(bytes int64, r testing.BenchmarkResult) float64 {
+	if r.T <= 0 {
+		return 0
+	}
+	total := float64(bytes) * float64(r.N)
+	return total / r.T.Seconds() / (1 << 20)
+}
+
+// ChunkCryptoMetrics flattens rows into report metrics keyed like
+// "encrypt_w4" / "decrypt_w4".
+func ChunkCryptoMetrics(rows []ChunkCryptoRow) Experiment {
+	exp := make(Experiment, 2*len(rows))
+	for _, r := range rows {
+		exp[fmt.Sprintf("encrypt_w%d", r.Workers)] = Metric{
+			NsPerOp:     float64(r.EncryptNsPerOp),
+			MBPerSec:    r.EncryptMBPerS,
+			AllocsPerOp: float64(r.EncryptAllocs),
+		}
+		exp[fmt.Sprintf("decrypt_w%d", r.Workers)] = Metric{
+			NsPerOp:     float64(r.DecryptNsPerOp),
+			MBPerSec:    r.DecryptMBPerS,
+			AllocsPerOp: float64(r.DecryptAllocs),
+		}
+	}
+	return exp
+}
+
+// PrintChunkCrypto renders the sweep as a table.
+func PrintChunkCrypto(w io.Writer, rows []ChunkCryptoRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Chunk crypto pipeline — %s buffer, per-chunk AES-GCM\n", fmtBytes(rows[0].Bytes))
+	fmt.Fprintf(w, "%8s %14s %12s %10s %14s %12s %10s %9s\n",
+		"workers", "enc ns/op", "enc MB/s", "enc allocs", "dec ns/op", "dec MB/s", "dec allocs", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %14d %12.1f %10d %14d %12.1f %10d %8.2fx\n",
+			r.Workers, r.EncryptNsPerOp, r.EncryptMBPerS, r.EncryptAllocs,
+			r.DecryptNsPerOp, r.DecryptMBPerS, r.DecryptAllocs, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,92 @@
+// Package compare diffs two machine-readable bench reports
+// (BENCH_<rev>.json) and decides whether the newer one regressed. It is
+// the library behind cmd/nexus-benchdiff and the CI perf gate.
+package compare
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nexus/internal/bench"
+)
+
+// Delta is the comparison of one metric between two reports.
+type Delta struct {
+	Experiment string
+	Metric     string
+	// BaseNs and CurNs are ns/op in the baseline and current reports.
+	BaseNs float64
+	CurNs  float64
+	// Ratio is CurNs/BaseNs (>1 means slower). Zero when Missing.
+	Ratio float64
+	// Missing marks a baseline metric absent from the current report —
+	// treated as a regression, since silently dropping a measurement
+	// would otherwise un-guard it.
+	Missing bool
+	// Regressed is set when CurNs exceeds BaseNs by more than the
+	// tolerance, or when Missing.
+	Regressed bool
+}
+
+// Diff compares current against baseline metric by metric. tolerance is
+// the allowed fractional slowdown (0.2 = 20%): a metric regresses when
+// cur > base*(1+tolerance). Metrics that exist only in current are new
+// coverage, not regressions. Returns every delta (sorted, regressions
+// included) and whether any metric regressed.
+func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, error) {
+	if baseline.Schema != current.Schema {
+		return nil, false, fmt.Errorf("compare: schema mismatch: baseline %d vs current %d", baseline.Schema, current.Schema)
+	}
+	if tolerance < 0 {
+		return nil, false, fmt.Errorf("compare: negative tolerance %v", tolerance)
+	}
+
+	var deltas []Delta
+	regressed := false
+	for expName, baseExp := range baseline.Experiments {
+		curExp := current.Experiments[expName]
+		for name, base := range baseExp {
+			d := Delta{Experiment: expName, Metric: name, BaseNs: base.NsPerOp}
+			cur, ok := curExp[name]
+			if !ok {
+				d.Missing = true
+				d.Regressed = true
+			} else {
+				d.CurNs = cur.NsPerOp
+				if base.NsPerOp > 0 {
+					d.Ratio = cur.NsPerOp / base.NsPerOp
+				}
+				d.Regressed = cur.NsPerOp > base.NsPerOp*(1+tolerance)
+			}
+			if d.Regressed {
+				regressed = true
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Experiment != deltas[j].Experiment {
+			return deltas[i].Experiment < deltas[j].Experiment
+		}
+		return deltas[i].Metric < deltas[j].Metric
+	})
+	return deltas, regressed, nil
+}
+
+// Format renders the diff as a table, flagging regressions.
+func Format(w io.Writer, deltas []Delta, tolerance float64) {
+	fmt.Fprintf(w, "%-42s %14s %14s %8s\n", "experiment/metric", "base ns/op", "cur ns/op", "ratio")
+	for _, d := range deltas {
+		name := d.Experiment + "/" + d.Metric
+		if d.Missing {
+			fmt.Fprintf(w, "%-42s %14.0f %14s %8s  REGRESSED (missing)\n", name, d.BaseNs, "-", "-")
+			continue
+		}
+		flag := ""
+		if d.Regressed {
+			flag = fmt.Sprintf("  REGRESSED (> +%.0f%%)", tolerance*100)
+		}
+		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx%s\n", name, d.BaseNs, d.CurNs, d.Ratio, flag)
+	}
+}

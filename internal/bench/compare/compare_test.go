@@ -1,0 +1,127 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+
+	"nexus/internal/bench"
+)
+
+func report(metrics map[string]float64) *bench.Report {
+	r := bench.NewReport("test", 1)
+	for name, ns := range metrics {
+		r.Add("fileio", name, bench.Metric{NsPerOp: ns})
+	}
+	return r
+}
+
+func TestDiffWithinToleranceIsClean(t *testing.T) {
+	base := report(map[string]float64{"write_read_1MB": 1000, "write_read_2MB": 2000})
+	cur := report(map[string]float64{"write_read_1MB": 1150, "write_read_2MB": 1800})
+
+	deltas, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("15%% slowdown flagged as regression at 20%% tolerance: %+v", deltas)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+}
+
+func TestDiffFlagsRegressionBeyondTolerance(t *testing.T) {
+	base := report(map[string]float64{"write_read_1MB": 1000})
+	cur := report(map[string]float64{"write_read_1MB": 1201})
+
+	deltas, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("20.1% slowdown not flagged at 20% tolerance")
+	}
+	if !deltas[0].Regressed {
+		t.Fatalf("delta not marked regressed: %+v", deltas[0])
+	}
+}
+
+func TestDiffExactToleranceBoundaryPasses(t *testing.T) {
+	base := report(map[string]float64{"m": 1000})
+	cur := report(map[string]float64{"m": 1200})
+	_, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("exactly +20% should pass at 20% tolerance (strict >)")
+	}
+}
+
+func TestDiffMissingMetricRegresses(t *testing.T) {
+	base := report(map[string]float64{"write_read_1MB": 1000, "write_read_2MB": 2000})
+	cur := report(map[string]float64{"write_read_1MB": 1000})
+
+	deltas, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("dropped baseline metric not flagged")
+	}
+	var missing *Delta
+	for i := range deltas {
+		if deltas[i].Metric == "write_read_2MB" {
+			missing = &deltas[i]
+		}
+	}
+	if missing == nil || !missing.Missing || !missing.Regressed {
+		t.Fatalf("missing metric delta wrong: %+v", missing)
+	}
+}
+
+func TestDiffNewMetricIsNotRegression(t *testing.T) {
+	base := report(map[string]float64{"a": 100})
+	cur := report(map[string]float64{"a": 100, "b": 999999})
+	deltas, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("metric present only in current flagged as regression")
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("new metrics should not produce deltas, got %d", len(deltas))
+	}
+}
+
+func TestDiffSchemaMismatch(t *testing.T) {
+	base := report(map[string]float64{"a": 1})
+	cur := report(map[string]float64{"a": 1})
+	cur.Schema = bench.ReportSchema + 1
+	if _, _, err := Diff(base, cur, 0.2); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+func TestFormatMarksRegressions(t *testing.T) {
+	base := report(map[string]float64{"fast": 1000, "slow": 1000, "gone": 1000})
+	cur := report(map[string]float64{"fast": 900, "slow": 5000})
+	deltas, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("expected regressions")
+	}
+	var sb strings.Builder
+	Format(&sb, deltas, 0.2)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") {
+		t.Fatalf("no REGRESSED marker in output:\n%s", out)
+	}
+	if !strings.Contains(out, "missing") {
+		t.Fatalf("no missing marker in output:\n%s", out)
+	}
+}

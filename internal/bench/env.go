@@ -37,6 +37,9 @@ type Config struct {
 	// entries, 1 MiB).
 	BucketSize uint32
 	ChunkSize  uint32
+	// CryptoWorkers bounds the parallel chunk-crypto fan-out (0 =
+	// GOMAXPROCS with serial small-file fallback, 1 = serial).
+	CryptoWorkers int
 	// DisableMetadataCache ablates the in-enclave metadata cache.
 	DisableMetadataCache bool
 	// FreshnessTree enables the volume-wide version table (§VI-C).
@@ -120,6 +123,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		IAS:                  ias,
 		BucketSize:           cfg.BucketSize,
 		ChunkSize:            cfg.ChunkSize,
+		CryptoWorkers:        cfg.CryptoWorkers,
 		TransitionCost:       cfg.TransitionCost,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,

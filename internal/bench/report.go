@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// ReportSchema is the version stamped into every JSON report. Bump it
+// whenever the shape of Report changes incompatibly; the compare tool
+// refuses to diff reports with mismatched schemas.
+const ReportSchema = 1
+
+// Metric is one measured quantity within an experiment.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Experiment maps metric names (e.g. "write_read_1MB") to measurements.
+type Experiment map[string]Metric
+
+// Report is the machine-readable output of a nexus-bench run
+// (BENCH_<rev>.json). The environment fields exist so a reader can tell
+// whether two reports are comparable at all — in particular CPUs, since
+// the parallel chunk-crypto results are meaningless to compare across
+// different core counts.
+type Report struct {
+	Schema      int                   `json:"schema"`
+	Rev         string                `json:"rev"`
+	GoVersion   string                `json:"go_version"`
+	GOOS        string                `json:"goos"`
+	GOARCH      string                `json:"goarch"`
+	CPUs        int                   `json:"cpus"`
+	Scale       int64                 `json:"scale"`
+	Experiments map[string]Experiment `json:"experiments"`
+}
+
+// NewReport stamps a report with the current toolchain and machine.
+func NewReport(rev string, scale int64) *Report {
+	return &Report{
+		Schema:      ReportSchema,
+		Rev:         rev,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Scale:       scale,
+		Experiments: make(map[string]Experiment),
+	}
+}
+
+// Add records one metric under the named experiment.
+func (r *Report) Add(experiment, metric string, m Metric) {
+	exp, ok := r.Experiments[experiment]
+	if !ok {
+		exp = make(Experiment)
+		r.Experiments[experiment] = exp
+	}
+	exp[metric] = m
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path, replacing any existing file.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := r.Encode(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("bench: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadReport reads a report written by WriteFile and validates its
+// schema version.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: %s has schema %d, this tool understands %d", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"nexus/internal/backend"
+	"nexus/internal/parallel"
 	"nexus/internal/serial"
 )
 
@@ -76,14 +77,23 @@ type Stats struct {
 	KeyWraps int64
 }
 
+// add accumulates another snapshot into s.
+func (s *Stats) add(o Stats) {
+	s.BytesReencrypted += o.BytesReencrypted
+	s.BytesUploaded += o.BytesUploaded
+	s.FilesTouched += o.FilesTouched
+	s.KeyWraps += o.KeyWraps
+}
+
 // FS is a pure-crypto filesystem over a store.
 type FS struct {
 	store backend.Store
 	owner *User
 
-	mu    sync.Mutex
-	users map[string]*User // all participants, owner included; guarded by mu
-	stats Stats            // guarded by mu
+	mu      sync.Mutex
+	users   map[string]*User // all participants, owner included; guarded by mu
+	stats   Stats            // guarded by mu
+	workers int              // Revoke re-encryption fan-out; guarded by mu
 }
 
 // New creates a filesystem owned by owner.
@@ -100,6 +110,15 @@ func (fs *FS) AddUser(u *User) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.users[u.Name] = u
+}
+
+// SetWorkers bounds the re-encryption fan-out used by Revoke (0 =
+// GOMAXPROCS, 1 = serial). Mass revocation re-encrypts every affected
+// file independently, so the files parallelize perfectly.
+func (fs *FS) SetWorkers(w int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.workers = w
 }
 
 // Stats returns a snapshot of the meters.
@@ -127,10 +146,10 @@ func escape(p string) string {
 	return strings.ReplaceAll(p, "/", "%2f")
 }
 
-// wrapKeyLocked derives the pairwise wrapping secret between the owner and a
+// wrapKey derives the pairwise wrapping secret between the owner and a
 // user, and seals the file key under it.
-func (fs *FS) wrapKeyLocked(user *User, fileKey []byte) ([]byte, error) {
-	secret, err := fs.owner.priv.ECDH(user.priv.PublicKey())
+func wrapKey(owner, user *User, fileKey []byte) ([]byte, error) {
+	secret, err := owner.priv.ECDH(user.priv.PublicKey())
 	if err != nil {
 		return nil, fmt.Errorf("cryptofs: deriving wrap secret: %w", err)
 	}
@@ -147,12 +166,17 @@ func (fs *FS) wrapKeyLocked(user *User, fileKey []byte) ([]byte, error) {
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, err
 	}
-	fs.stats.KeyWraps++
 	return gcm.Seal(nonce, nonce, fileKey, []byte(user.Name)), nil
 }
 
 func (fs *FS) unwrapKey(user *User, wrapped []byte) ([]byte, error) {
-	secret, err := user.priv.ECDH(fs.owner.priv.PublicKey())
+	return unwrapKeyFor(fs.owner, user, wrapped)
+}
+
+// unwrapKeyFor recovers the file key wrapped for user under the
+// owner/user pairwise secret.
+func unwrapKeyFor(owner, user *User, wrapped []byte) ([]byte, error) {
+	secret, err := user.priv.ECDH(owner.priv.PublicKey())
 	if err != nil {
 		return nil, err
 	}
@@ -175,42 +199,54 @@ func (fs *FS) unwrapKey(user *User, wrapped []byte) ([]byte, error) {
 	return key, nil
 }
 
-// encryptAndStoreLocked encrypts data under a fresh file key, wraps it for the
-// named readers, and uploads both objects. It returns the file key size
-// bookkeeping through fs.stats.
+// encryptAndStoreLocked encrypts data under a fresh file key, wraps it
+// for the named readers, and uploads both objects, folding the cost
+// meters into fs.stats; fs.mu is held.
 func (fs *FS) encryptAndStoreLocked(p string, data []byte, readers []string) error {
+	st, err := encryptAndStore(fs.store, fs.owner, fs.users, p, data, readers)
+	fs.stats.add(st)
+	return err
+}
+
+// encryptAndStore is the lock-free core of the write path: everything it
+// touches arrives as an argument, so Revoke can fan it out across worker
+// goroutines (the caller holds fs.mu for the whole fan-out, keeping
+// users and owner frozen). The returned Stats meter this call only.
+func encryptAndStore(store backend.Store, owner *User, users map[string]*User, p string, data []byte, readers []string) (Stats, error) {
+	var st Stats
 	fileKey := make([]byte, 32)
 	if _, err := rand.Read(fileKey); err != nil {
-		return err
+		return st, err
 	}
 	block, err := aes.NewCipher(fileKey)
 	if err != nil {
-		return err
+		return st, err
 	}
 	gcm, err := cipher.NewGCM(block)
 	if err != nil {
-		return err
+		return st, err
 	}
 	nonce := make([]byte, 12)
 	if _, err := rand.Read(nonce); err != nil {
-		return err
+		return st, err
 	}
 	ct := gcm.Seal(nonce, nonce, data, nil)
-	fs.stats.BytesReencrypted += int64(len(data))
+	st.BytesReencrypted += int64(len(data))
 
 	// Key block: per-reader wrapped keys.
 	sort.Strings(readers)
 	w := serial.NewWriter(64 * len(readers))
 	w.WriteUint32(uint32(len(readers)))
 	for _, name := range readers {
-		user, ok := fs.users[name]
+		user, ok := users[name]
 		if !ok {
-			return fmt.Errorf("%w: %s", ErrUnknownUser, name)
+			return st, fmt.Errorf("%w: %s", ErrUnknownUser, name)
 		}
-		wrapped, err := fs.wrapKeyLocked(user, fileKey)
+		wrapped, err := wrapKey(owner, user, fileKey)
 		if err != nil {
-			return err
+			return st, err
 		}
+		st.KeyWraps++
 		w.WriteString(name)
 		w.WriteBytes(wrapped)
 	}
@@ -222,21 +258,21 @@ func (fs *FS) encryptAndStoreLocked(p string, data []byte, readers []string) err
 	// corrupt, never as a silent mix of old keys and new plaintext. The
 	// reverse order could expose a new reader set to content they were
 	// just revoked from.
-	if err := fs.store.Put(dataName(p), ct); err != nil {
+	if err := store.Put(dataName(p), ct); err != nil {
 		if backend.IsUnavailable(err) {
-			return fmt.Errorf("cryptofs: uploading ciphertext for %s: %w", p, err)
+			return st, fmt.Errorf("cryptofs: uploading ciphertext for %s: %w", p, err)
 		}
-		return err
+		return st, err
 	}
-	if err := fs.store.Put(keysName(p), w.Bytes()); err != nil {
+	if err := store.Put(keysName(p), w.Bytes()); err != nil {
 		if backend.IsUnavailable(err) {
-			return fmt.Errorf("cryptofs: uploading key block for %s (ciphertext already replaced; old keys cannot decrypt it): %w", p, err)
+			return st, fmt.Errorf("cryptofs: uploading key block for %s (ciphertext already replaced; old keys cannot decrypt it): %w", p, err)
 		}
-		return err
+		return st, err
 	}
-	fs.stats.BytesUploaded += int64(len(ct) + w.Len())
-	fs.stats.FilesTouched++
-	return nil
+	st.BytesUploaded += int64(len(ct) + w.Len())
+	st.FilesTouched++
+	return st, nil
 }
 
 // WriteFile encrypts and stores a file readable by the given users (the
@@ -339,57 +375,77 @@ func (fs *FS) Readers(p string) ([]string, error) {
 // operation whose cost the experiment measures: each file's contents are
 // re-encrypted under a fresh key and re-uploaded, and keys re-wrapped
 // for all remaining readers — cost proportional to total affected data
-// and sharing degree.
+// and sharing degree. Files are independent, so the re-encryption fans
+// out across the SetWorkers fan-out width (default GOMAXPROCS); fs.mu is
+// held for the whole operation, freezing the user table under the
+// workers.
 func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	before := fs.stats
-	for _, p := range paths {
-		keysBlob, err := fs.store.Get(keysName(p))
-		if errors.Is(err, backend.ErrNotExist) {
-			return Stats{}, fmt.Errorf("%w: %s", ErrNotFound, p)
-		}
-		if err != nil {
-			return Stats{}, err
-		}
-		readers, _, err := decodeKeyBlock(keysBlob)
-		if err != nil {
-			return Stats{}, err
-		}
-		hadAccess := false
-		remaining := readers[:0]
-		for _, name := range readers {
-			if name == revoked {
-				hadAccess = true
-				continue
+	perPath := make([]Stats, len(paths))
+	var total Stats
+	err := parallel.Ranges(len(paths), fs.workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			p := paths[i]
+			keysBlob, err := fs.store.Get(keysName(p))
+			if errors.Is(err, backend.ErrNotExist) {
+				return fmt.Errorf("%w: %s", ErrNotFound, p)
 			}
-			remaining = append(remaining, name)
+			if err != nil {
+				return err
+			}
+			readers, _, err := decodeKeyBlock(keysBlob)
+			if err != nil {
+				return err
+			}
+			hadAccess := false
+			remaining := readers[:0]
+			for _, name := range readers {
+				if name == revoked {
+					hadAccess = true
+					continue
+				}
+				remaining = append(remaining, name)
+			}
+			if !hadAccess {
+				continue // nothing cached by the revoked user
+			}
+			// The revoked user may have cached the old file key: full
+			// re-encryption under a fresh key is mandatory.
+			pt, err := readFileAsOwner(fs.store, fs.owner, p)
+			if err != nil {
+				return err
+			}
+			st, err := encryptAndStore(fs.store, fs.owner, fs.users, p, pt, remaining)
+			if err != nil {
+				return err
+			}
+			perPath[i] = st
 		}
-		if !hadAccess {
-			continue // nothing cached by the revoked user
-		}
-		// The revoked user may have cached the old file key: full
-		// re-encryption under a fresh key is mandatory.
-		pt, err := fs.ReadFileAsOwnerLocked(p)
-		if err != nil {
-			return Stats{}, err
-		}
-		if err := fs.encryptAndStoreLocked(p, pt, remaining); err != nil {
-			return Stats{}, err
-		}
+		return nil
+	})
+	// Fold whatever completed into the meters even on failure, matching
+	// the serial path's partial accounting.
+	for _, st := range perPath {
+		total.add(st)
 	}
-	return Stats{
-		BytesReencrypted: fs.stats.BytesReencrypted - before.BytesReencrypted,
-		BytesUploaded:    fs.stats.BytesUploaded - before.BytesUploaded,
-		FilesTouched:     fs.stats.FilesTouched - before.FilesTouched,
-		KeyWraps:         fs.stats.KeyWraps - before.KeyWraps,
-	}, nil
+	fs.stats.add(total)
+	if err != nil {
+		return Stats{}, err
+	}
+	return total, nil
 }
 
 // ReadFileAsOwnerLocked decrypts p with the owner's key; the caller
 // holds fs.mu.
 func (fs *FS) ReadFileAsOwnerLocked(p string) ([]byte, error) {
-	keysBlob, err := fs.store.Get(keysName(p))
+	return readFileAsOwner(fs.store, fs.owner, p)
+}
+
+// readFileAsOwner is the lock-free owner read core shared by the serial
+// read path and Revoke's parallel fan-out.
+func readFileAsOwner(store backend.Store, owner *User, p string) ([]byte, error) {
+	keysBlob, err := store.Get(keysName(p))
 	if err != nil {
 		return nil, err
 	}
@@ -398,12 +454,12 @@ func (fs *FS) ReadFileAsOwnerLocked(p string) ([]byte, error) {
 		return nil, err
 	}
 	for i, name := range readers {
-		if name == fs.owner.Name {
-			fileKey, err := fs.unwrapKey(fs.owner, wrapped[i])
+		if name == owner.Name {
+			fileKey, err := unwrapKeyFor(owner, owner, wrapped[i])
 			if err != nil {
 				return nil, err
 			}
-			ct, err := fs.store.Get(dataName(p))
+			ct, err := store.Get(dataName(p))
 			if err != nil {
 				return nil, err
 			}

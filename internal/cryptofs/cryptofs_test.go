@@ -191,3 +191,55 @@ func TestUnknownTargets(t *testing.T) {
 		t.Fatalf("read missing = %v", err)
 	}
 }
+
+// TestParallelRevokeMatchesSerial runs the same revocation under serial
+// and parallel fan-out widths and requires identical meters and
+// identical post-revocation access semantics.
+func TestParallelRevokeMatchesSerial(t *testing.T) {
+	const files = 24
+	build := func(t *testing.T, workers int) (*FS, *User, Stats) {
+		fs, owner, _, _ := setup(t)
+		fs.SetWorkers(workers)
+		var paths []string
+		for i := 0; i < files; i++ {
+			p := fmt.Sprintf("/f%03d", i)
+			paths = append(paths, p)
+			if err := fs.WriteFile(p, bytes.Repeat([]byte{byte(i)}, 2048), []string{"alice"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := fs.Revoke("alice", paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs, owner, stats
+	}
+
+	_, _, serial := build(t, 1)
+	for _, w := range []int{2, 8} {
+		fs, owner, par := build(t, w)
+		if par != serial {
+			t.Fatalf("workers %d: stats %+v != serial %+v", w, par, serial)
+		}
+		// Owner still reads every file; the content survived re-encryption.
+		for i := 0; i < files; i++ {
+			got, err := fs.ReadFile(fmt.Sprintf("/f%03d", i), owner)
+			if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 2048)) {
+				t.Fatalf("workers %d: owner read f%03d: %v", w, i, err)
+			}
+		}
+	}
+}
+
+// TestParallelRevokeMissingFileFails exercises the error path through
+// the fan-out: a missing file aborts with ErrNotFound under any width.
+func TestParallelRevokeMissingFileFails(t *testing.T) {
+	fs, _, _, _ := setup(t)
+	fs.SetWorkers(8)
+	if err := fs.WriteFile("/present", []byte("x"), []string{"alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Revoke("alice", []string{"/present", "/missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("parallel revoke with missing file = %v, want ErrNotFound", err)
+	}
+}

@@ -98,6 +98,10 @@ type Config struct {
 	BucketSize uint32
 	// ChunkSize is the file chunk size (default 1 MiB, §VII).
 	ChunkSize uint32
+	// CryptoWorkers bounds the chunk-crypto fan-out on the WriteFile/
+	// ReadFile path (0 = GOMAXPROCS with a serial fallback for small
+	// files, 1 = always serial; see internal/metadata and DESIGN.md §10).
+	CryptoWorkers int
 	// DisableMetadataCache turns off the in-enclave decrypted-metadata
 	// cache (used by the cache ablation benchmark).
 	DisableMetadataCache bool

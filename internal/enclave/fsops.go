@@ -772,7 +772,7 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 		if err != nil {
 			return err
 		}
-		blob, err := f.EncryptContent(data)
+		blob, err := f.EncryptContentWorkers(data, e.cfg.CryptoWorkers)
 		if err != nil {
 			return err
 		}
@@ -835,7 +835,7 @@ func (e *Enclave) ReadFile(path string) ([]byte, error) {
 		if err != nil {
 			return fmt.Errorf("fetching data object: %w", err)
 		}
-		out, err = f.DecryptContent(blob)
+		out, err = f.DecryptContentWorkers(blob, e.cfg.CryptoWorkers)
 		return err
 	})
 	if err != nil {

@@ -73,6 +73,48 @@ func BenchmarkChunkDecrypt1MiB(b *testing.B) {
 	}
 }
 
+// BenchmarkChunkEncryptWorkers sweeps the parallel pipeline's fan-out
+// width over a 16 MiB file (16 chunks at the paper's 1 MiB chunk size),
+// the workload class the CI perf gate tracks. workers=1 is the serial
+// baseline the ≥2×-at-8-cores acceptance target compares against.
+func BenchmarkChunkEncryptWorkers(b *testing.B) {
+	data := make([]byte, 16<<20)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("16MiB/w%d", w), func(b *testing.B) {
+			f := NewFilenode(uuid.New(), uuid.Nil, DefaultChunkSize)
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.EncryptContentWorkers(data, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChunkDecryptWorkers is the read-path counterpart.
+func BenchmarkChunkDecryptWorkers(b *testing.B) {
+	f := NewFilenode(uuid.New(), uuid.Nil, DefaultChunkSize)
+	blob, err := f.EncryptContent(make([]byte, 16<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("16MiB/w%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(blob)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.DecryptContentWorkers(blob, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDirnodeLookup(b *testing.B) {
 	for _, entries := range []int{128, 1024, 8192} {
 		b.Run(fmt.Sprintf("entries%d", entries), func(b *testing.B) {

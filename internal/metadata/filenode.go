@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"nexus/internal/parallel"
 	"nexus/internal/serial"
 	"nexus/internal/uuid"
 )
@@ -14,6 +15,11 @@ import (
 // DefaultChunkSize is the default file chunk size; the paper's
 // evaluation uses 1 MiB chunks (§VII).
 const DefaultChunkSize = 1 << 20
+
+// serialCutoffBytes is the content size below which chunk crypto always
+// runs serially: under ~128 KiB a single AES-GCM pass is cheaper than
+// any goroutine fan-out, so small files pay zero pipeline overhead.
+const serialCutoffBytes = 128 << 10
 
 // ChunkContext is the independent cryptographic context of one file
 // chunk: key, IV, and authentication tag (§IV-A1). Roughly 44 bytes of
@@ -112,7 +118,10 @@ func (f *Filenode) NumChunks() int {
 }
 
 // chunkAAD binds a chunk's ciphertext to its file and position, so
-// chunks cannot be transplanted or reordered.
+// chunks cannot be transplanted or reordered. Because every chunk is an
+// independent AEAD under its own key with position-bound AAD, chunks can
+// be sealed and opened in any order — including concurrently — without
+// weakening any of those guarantees.
 func chunkAAD(dataUUID uuid.UUID, index int) []byte {
 	aad := make([]byte, uuid.Size+8)
 	copy(aad, dataUUID[:])
@@ -120,50 +129,115 @@ func chunkAAD(dataUUID uuid.UUID, index int) []byte {
 	return aad
 }
 
+// chunkBounds returns chunk i's plaintext byte range within a content of
+// total bytes.
+func (f *Filenode) chunkBounds(i, total int) (start, end int) {
+	start = i * int(f.ChunkSize)
+	end = start + int(f.ChunkSize)
+	if end > total {
+		end = total
+	}
+	return start, end
+}
+
+// aead builds the chunk's AES-GCM instance.
+func (c *ChunkContext) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(c.Key[:])
+	if err != nil {
+		return nil, fmt.Errorf("metadata: chunk cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("metadata: chunk GCM: %w", err)
+	}
+	return gcm, nil
+}
+
+// cryptoWorkers picks the fan-out width for size bytes of content. The
+// auto setting (0) resolves to GOMAXPROCS but falls back to serial below
+// serialCutoffBytes; an explicit knob is honored as given, so tests and
+// benchmarks can force a width regardless of content size.
+func cryptoWorkers(size, workers int) int {
+	if workers == 0 && size < serialCutoffBytes {
+		return 1
+	}
+	return parallel.Workers(workers)
+}
+
 // EncryptContent encrypts plaintext into the data object's on-store form,
 // regenerating every chunk context with fresh keys ("re-encrypted using
 // fresh keys on every file content update", §VI-A). The returned blob
 // holds the concatenated chunk ciphertexts; tags land in the filenode.
+// Chunks are sealed in parallel across GOMAXPROCS workers; use
+// EncryptContentWorkers to bound the fan-out.
 func (f *Filenode) EncryptContent(plaintext []byte) ([]byte, error) {
+	return f.EncryptContentWorkers(plaintext, 0)
+}
+
+// EncryptContentWorkers is EncryptContent with an explicit parallelism
+// knob: 0 means GOMAXPROCS (with serial fallback below
+// serialCutoffBytes), 1 forces the serial path, higher values set the
+// worker count.
+func (f *Filenode) EncryptContentWorkers(plaintext []byte, workers int) ([]byte, error) {
 	f.Size = uint64(len(plaintext))
 	n := f.NumChunks()
 	f.Chunks = make([]ChunkContext, n)
-	out := make([]byte, 0, len(plaintext))
+	out := make([]byte, len(plaintext))
+	if n == 0 {
+		return out, nil
+	}
 
-	for i := 0; i < n; i++ {
-		start := i * int(f.ChunkSize)
-		end := start + int(f.ChunkSize)
-		if end > len(plaintext) {
-			end = len(plaintext)
+	// One crypto/rand read covers every chunk's key and IV. The serial
+	// loop used to issue two getrandom(2) calls per chunk; batching keeps
+	// the kernel round-trips off the per-chunk path while every context
+	// still gets fresh, independent material on every update.
+	seed := make([]byte, n*(BodyKeySize+ivSize))
+	if _, err := rand.Read(seed); err != nil {
+		return nil, fmt.Errorf("metadata: chunk key material: %w", err)
+	}
+	for i := range f.Chunks {
+		off := i * (BodyKeySize + ivSize)
+		copy(f.Chunks[i].Key[:], seed[off:off+BodyKeySize])
+		copy(f.Chunks[i].IV[:], seed[off+BodyKeySize:off+BodyKeySize+ivSize])
+	}
+
+	// Fan the chunks out over contiguous spans. Each worker seals into a
+	// reusable scratch buffer and copies ciphertext and tag into its own
+	// disjoint slots of the preallocated output and chunk table, so the
+	// only cross-worker state is the read-only plaintext.
+	err := parallel.Ranges(n, cryptoWorkers(len(plaintext), workers), func(lo, hi int) error {
+		scratch := make([]byte, 0, int(f.ChunkSize)+tagSize)
+		for i := lo; i < hi; i++ {
+			start, end := f.chunkBounds(i, len(plaintext))
+			ctx := &f.Chunks[i]
+			gcm, err := ctx.aead()
+			if err != nil {
+				return err
+			}
+			sealed := gcm.Seal(scratch[:0], ctx.IV[:], plaintext[start:end], chunkAAD(f.DataUUID, i))
+			// Split ciphertext and tag: tag goes into the filenode context.
+			ct := copy(out[start:end], sealed)
+			copy(ctx.Tag[:], sealed[ct:])
 		}
-		ctx := &f.Chunks[i]
-		if _, err := rand.Read(ctx.Key[:]); err != nil {
-			return nil, fmt.Errorf("metadata: chunk key: %w", err)
-		}
-		if _, err := rand.Read(ctx.IV[:]); err != nil {
-			return nil, fmt.Errorf("metadata: chunk iv: %w", err)
-		}
-		block, err := aes.NewCipher(ctx.Key[:])
-		if err != nil {
-			return nil, fmt.Errorf("metadata: chunk cipher: %w", err)
-		}
-		gcm, err := cipher.NewGCM(block)
-		if err != nil {
-			return nil, fmt.Errorf("metadata: chunk GCM: %w", err)
-		}
-		sealed := gcm.Seal(nil, ctx.IV[:], plaintext[start:end], chunkAAD(f.DataUUID, i))
-		// Split ciphertext and tag: tag goes into the filenode context.
-		ct, tag := sealed[:len(sealed)-tagSize], sealed[len(sealed)-tagSize:]
-		copy(ctx.Tag[:], tag)
-		out = append(out, ct...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // DecryptContent verifies and decrypts a data object blob produced by
 // EncryptContent. Chunk reordering, truncation, or modification yields
-// ErrTampered.
+// ErrTampered. Chunks are opened in parallel across GOMAXPROCS workers;
+// use DecryptContentWorkers to bound the fan-out.
 func (f *Filenode) DecryptContent(blob []byte) ([]byte, error) {
+	return f.DecryptContentWorkers(blob, 0)
+}
+
+// DecryptContentWorkers is DecryptContent with an explicit parallelism
+// knob (same semantics as EncryptContentWorkers).
+func (f *Filenode) DecryptContentWorkers(blob []byte, workers int) ([]byte, error) {
 	if uint64(len(blob)) != f.Size {
 		return nil, fmt.Errorf("%w: data object is %d bytes, filenode records %d",
 			ErrTampered, len(blob), f.Size)
@@ -172,30 +246,30 @@ func (f *Filenode) DecryptContent(blob []byte) ([]byte, error) {
 	if len(f.Chunks) != n {
 		return nil, fmt.Errorf("%w: %d chunk contexts for %d chunks", ErrMalformed, len(f.Chunks), n)
 	}
-	out := make([]byte, 0, len(blob))
-	for i := 0; i < n; i++ {
-		start := i * int(f.ChunkSize)
-		end := start + int(f.ChunkSize)
-		if end > len(blob) {
-			end = len(blob)
+	out := make([]byte, len(blob))
+	err := parallel.Ranges(n, cryptoWorkers(len(blob), workers), func(lo, hi int) error {
+		sealed := make([]byte, 0, int(f.ChunkSize)+tagSize)
+		for i := lo; i < hi; i++ {
+			start, end := f.chunkBounds(i, len(blob))
+			ctx := &f.Chunks[i]
+			gcm, err := ctx.aead()
+			if err != nil {
+				return err
+			}
+			sealed = append(sealed[:0], blob[start:end]...)
+			sealed = append(sealed, ctx.Tag[:]...)
+			// Open appends exactly end-start plaintext bytes into this
+			// chunk's slot of the preallocated output; the three-index
+			// slice caps capacity at the slot boundary so an overrun could
+			// never reach a neighbouring chunk.
+			if _, err := gcm.Open(out[start:start:end], ctx.IV[:], sealed, chunkAAD(f.DataUUID, i)); err != nil {
+				return fmt.Errorf("%w: chunk %d authentication failed", ErrTampered, i)
+			}
 		}
-		ctx := &f.Chunks[i]
-		block, err := aes.NewCipher(ctx.Key[:])
-		if err != nil {
-			return nil, fmt.Errorf("metadata: chunk cipher: %w", err)
-		}
-		gcm, err := cipher.NewGCM(block)
-		if err != nil {
-			return nil, fmt.Errorf("metadata: chunk GCM: %w", err)
-		}
-		sealed := make([]byte, 0, end-start+tagSize)
-		sealed = append(sealed, blob[start:end]...)
-		sealed = append(sealed, ctx.Tag[:]...)
-		pt, err := gcm.Open(nil, ctx.IV[:], sealed, chunkAAD(f.DataUUID, i))
-		if err != nil {
-			return nil, fmt.Errorf("%w: chunk %d authentication failed", ErrTampered, i)
-		}
-		out = append(out, pt...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

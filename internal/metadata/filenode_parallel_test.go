@@ -1,0 +1,172 @@
+package metadata
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+
+	"nexus/internal/uuid"
+)
+
+// workerCounts are the fan-out widths every parallel-path test sweeps;
+// the satellite spec calls for {1, 2, 8}.
+var workerCounts = []int{1, 2, 8}
+
+func TestParallelRoundTripMatchesAcrossWorkerCounts(t *testing.T) {
+	for _, size := range []int{0, 1, 1023, 1024, 1025, 64 << 10, 1 << 20} {
+		f := NewFilenode(uuid.New(), uuid.New(), 4096)
+		pt := make([]byte, size)
+		if _, err := rand.Read(pt); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			blob, err := f.EncryptContentWorkers(pt, w)
+			if err != nil {
+				t.Fatalf("size %d workers %d: encrypt: %v", size, w, err)
+			}
+			if len(blob) != size {
+				t.Fatalf("size %d workers %d: ciphertext %d bytes", size, w, len(blob))
+			}
+			// The same blob must decrypt byte-identically under every
+			// fan-out width, not only the one that produced it.
+			for _, dw := range workerCounts {
+				got, err := f.DecryptContentWorkers(blob, dw)
+				if err != nil {
+					t.Fatalf("size %d enc-workers %d dec-workers %d: decrypt: %v", size, w, dw, err)
+				}
+				if !bytes.Equal(got, pt) {
+					t.Fatalf("size %d enc-workers %d dec-workers %d: round trip mismatch", size, w, dw)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelTamperReorderTruncateDetected(t *testing.T) {
+	const chunk = 1024
+	f := NewFilenode(uuid.New(), uuid.Nil, chunk)
+	pt := make([]byte, 16*chunk)
+	if _, err := rand.Read(pt); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := f.EncryptContentWorkers(pt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		// Bit flip in a middle chunk.
+		mut := bytes.Clone(blob)
+		mut[7*chunk+13] ^= 1
+		if _, err := f.DecryptContentWorkers(mut, w); !errors.Is(err, ErrTampered) {
+			t.Fatalf("workers %d: ciphertext flip accepted: %v", w, err)
+		}
+		// Consistent reorder of two chunks (data swapped with contexts).
+		swapped := bytes.Clone(blob)
+		copy(swapped[0:chunk], blob[chunk:2*chunk])
+		copy(swapped[chunk:2*chunk], blob[0:chunk])
+		f.Chunks[0], f.Chunks[1] = f.Chunks[1], f.Chunks[0]
+		if _, err := f.DecryptContentWorkers(swapped, w); !errors.Is(err, ErrTampered) {
+			t.Fatalf("workers %d: chunk reorder accepted: %v", w, err)
+		}
+		f.Chunks[0], f.Chunks[1] = f.Chunks[1], f.Chunks[0]
+		// Truncation and extension.
+		if _, err := f.DecryptContentWorkers(blob[:len(blob)-1], w); !errors.Is(err, ErrTampered) {
+			t.Fatalf("workers %d: truncation accepted: %v", w, err)
+		}
+		if _, err := f.DecryptContentWorkers(append(bytes.Clone(blob), 0), w); !errors.Is(err, ErrTampered) {
+			t.Fatalf("workers %d: extension accepted: %v", w, err)
+		}
+	}
+}
+
+// TestParallelFreshKeysPerUpdate asserts that batching key/IV generation
+// into one crypto/rand read preserves the §VI-A fresh-keys-per-update
+// semantics: no chunk reuses a key or IV across updates, and no two
+// chunks of one update share material.
+func TestParallelFreshKeysPerUpdate(t *testing.T) {
+	for _, w := range workerCounts {
+		f := NewFilenode(uuid.New(), uuid.Nil, 1024)
+		pt := bytes.Repeat([]byte{7}, 8*1024)
+		if _, err := f.EncryptContentWorkers(pt, w); err != nil {
+			t.Fatal(err)
+		}
+		first := make([]ChunkContext, len(f.Chunks))
+		copy(first, f.Chunks)
+		if _, err := f.EncryptContentWorkers(pt, w); err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.Chunks {
+			if f.Chunks[i].Key == first[i].Key {
+				t.Fatalf("workers %d: chunk %d key reused across updates", w, i)
+			}
+			if f.Chunks[i].IV == first[i].IV {
+				t.Fatalf("workers %d: chunk %d IV reused across updates", w, i)
+			}
+		}
+		seen := make(map[[BodyKeySize]byte]int)
+		for i := range f.Chunks {
+			if j, dup := seen[f.Chunks[i].Key]; dup {
+				t.Fatalf("workers %d: chunks %d and %d share a key within one update", w, j, i)
+			}
+			seen[f.Chunks[i].Key] = i
+		}
+	}
+}
+
+// TestParallelPipelineRaceClean hammers independent filenodes from many
+// goroutines while each filenode internally fans out its chunk work;
+// meaningful only under -race, where it proves the pipeline shares no
+// hidden state across instances or workers.
+func TestParallelPipelineRaceClean(t *testing.T) {
+	pt := make([]byte, 256<<10)
+	if _, err := rand.Read(pt); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			f := NewFilenode(uuid.New(), uuid.Nil, 16<<10)
+			for iter := 0; iter < 3; iter++ {
+				blob, err := f.EncryptContentWorkers(pt, workers)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := f.DecryptContentWorkers(blob, workers)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, pt) {
+					errs <- errors.New("round trip mismatch under concurrency")
+					return
+				}
+			}
+		}(1 + g%4)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialCutoffPicksSerial pins the auto-mode heuristic: small
+// content resolves to one worker, large content to GOMAXPROCS, and an
+// explicit knob is always honored.
+func TestSerialCutoffPicksSerial(t *testing.T) {
+	if got := cryptoWorkers(serialCutoffBytes-1, 0); got != 1 {
+		t.Fatalf("auto below cutoff: workers = %d, want 1", got)
+	}
+	if got := cryptoWorkers(serialCutoffBytes-1, 8); got != 8 {
+		t.Fatalf("explicit knob below cutoff: workers = %d, want 8", got)
+	}
+	if got := cryptoWorkers(1<<20, 3); got != 3 {
+		t.Fatalf("explicit knob: workers = %d, want 3", got)
+	}
+}

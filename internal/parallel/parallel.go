@@ -1,0 +1,74 @@
+// Package parallel provides the bounded fan-out primitive behind the
+// chunk-crypto pipeline (DESIGN.md §10). It is deliberately tiny: a
+// worker-count resolver and a contiguous-range splitter, so hot paths
+// can scale across cores without each call site reinventing pool
+// plumbing or error collection.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob into an effective fan-out width:
+// zero (the default wherever a knob is threaded through a config) means
+// GOMAXPROCS, anything below one clamps to serial.
+func Workers(knob int) int {
+	if knob == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if knob < 1 {
+		return 1
+	}
+	return knob
+}
+
+// Ranges splits the index space [0, n) into at most workers contiguous
+// spans of near-equal size and runs span on each concurrently. With
+// workers <= 1 (or n == 1) the single span runs inline on the calling
+// goroutine, so serial callers pay nothing. Ranges always waits for
+// every span to finish and returns one of the errors encountered (which
+// one is unspecified when several spans fail).
+//
+// Contiguous spans — rather than a shared work queue — keep each worker
+// on an adjacent slice of the caller's buffers (cache-friendly, no
+// per-item channel traffic) and give it a natural place to hold
+// per-worker scratch across its whole span.
+func Ranges(n, workers int, span func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return span(0, n)
+	}
+
+	per, rem := n/w, n%w
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	lo := 0
+	for k := 0; k < w; k++ {
+		hi := lo + per
+		if k < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := span(lo, hi); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	return firstErr
+}

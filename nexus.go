@@ -168,6 +168,10 @@ type ClientConfig struct {
 	BucketSize uint32
 	// ChunkSize is the file encryption chunk size (default 1 MiB).
 	ChunkSize uint32
+	// CryptoWorkers bounds the parallel chunk-crypto fan-out on file
+	// reads and writes: 0 uses GOMAXPROCS (serial below a small-file
+	// cutoff), 1 forces the serial path.
+	CryptoWorkers int
 	// EPCSize overrides the simulated enclave page cache budget
 	// (default ~96 MiB, the paper's hardware).
 	EPCSize int64
@@ -235,6 +239,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		IAS:                  cfg.IAS,
 		BucketSize:           cfg.BucketSize,
 		ChunkSize:            cfg.ChunkSize,
+		CryptoWorkers:        cfg.CryptoWorkers,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
 	})
