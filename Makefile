@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint fuzz-smoke chaos bench bench-baseline cover ci clean
+.PHONY: all build test race vet lint fuzz-smoke chaos obs bench bench-baseline cover ci clean
 
 all: build
 
@@ -42,6 +42,15 @@ chaos:
 		NEXUS_CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestProperty' -count=1 ./internal/afs/ || exit 1; \
 	done
 
+# obs mirrors the CI observability job: the registry/tracer suite and
+# the cross-layer span/metric assertions under the race detector. The
+# allocation-free assertions live in `make test` (alloc_test.go is
+# build-tagged !race). See DESIGN.md §11.
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestObservability' .
+	$(GO) test -race -count=1 -run 'TestTransportFault|TestClientRPCLatency' ./internal/afs/
+
 # bench mirrors the CI perf gate: rerun the fast file-I/O experiment,
 # write BENCH_<rev>.json, and diff it against the committed baseline.
 bench:
@@ -56,10 +65,10 @@ bench-baseline:
 
 # cover reports coverage on the packages gated by the CI floor.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/metadata/ ./internal/gcmsiv/
+	$(GO) test -coverprofile=cover.out ./internal/metadata/ ./internal/gcmsiv/ ./internal/obs/
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet lint race chaos
+ci: build vet lint race chaos obs
 
 clean:
 	$(GO) clean ./...

@@ -100,6 +100,13 @@ func run() error {
 					MBPerSec: float64(2*size) / r.Nexus.Seconds() / (1 << 20),
 				})
 			}
+			// Per-operation latency distributions from the stack's
+			// observability registry, aggregated over every size above.
+			for _, name := range []string{"vfs_write_seconds", "vfs_read_seconds"} {
+				if m := bench.LatencyMetric(env.Obs.Snapshot(name)); m.NsPerOp > 0 {
+					report.Add("fileio", name, m)
+				}
+			}
 		}
 	}
 	if want("dirops") {

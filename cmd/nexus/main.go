@@ -31,6 +31,8 @@
 //	acl-set <dir> <user> <rights>  grant rights (lridwa letters, or
 //	                               read/write/all/none)
 //	acl-get <dir>                show a directory's ACL
+//	trace <command> [args]       run a volume command with tracing on and
+//	                             print its span tree and metrics to stderr
 //
 // Cross-machine rootkey exchange requires a shared attestation service,
 // which lives in-process in this simulation; see examples/sharing for
@@ -49,6 +51,7 @@ import (
 
 	"nexus"
 	"nexus/internal/afs"
+	"nexus/internal/obs"
 	"nexus/internal/uuid"
 )
 
@@ -63,6 +66,9 @@ type cli struct {
 	home  string
 	store nexus.ObjectStore
 	ias   *nexus.AttestationService
+	// obs is shared by the AFS client and the enclave so trace mode
+	// stitches afs.* RPC spans under the vfs/sgx spans.
+	obs *nexus.Obs
 }
 
 func run() error {
@@ -79,11 +85,11 @@ func run() error {
 	if err := os.MkdirAll(*home, 0o700); err != nil {
 		return err
 	}
-	c := &cli{home: *home}
+	c := &cli{home: *home, obs: nexus.NewObs()}
 
 	switch {
 	case *afsAddr != "":
-		client, err := afs.Dial(*afsAddr, afs.ClientConfig{})
+		client, err := afs.Dial(*afsAddr, afs.ClientConfig{Obs: c.obs})
 		if err != nil {
 			return fmt.Errorf("connecting to AFS server: %w", err)
 		}
@@ -109,11 +115,25 @@ func run() error {
 		return c.initVolume()
 	}
 
+	traceMode := false
+	if cmd == "trace" {
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: trace <command> [args]")
+		}
+		traceMode = true
+		cmd, rest = rest[0], rest[1:]
+	}
+
 	vol, err := c.mount()
 	if err != nil {
 		return err
 	}
 	fs := vol.FS()
+	if traceMode {
+		reg := fs.Enclave().Obs()
+		reg.Tracer().Enable()
+		defer printTrace(reg)
+	}
 
 	switch cmd {
 	case "ls":
@@ -239,6 +259,19 @@ func run() error {
 	}
 }
 
+// printTrace dumps the span trees and latency summaries collected while
+// the traced command ran. Output goes to stderr so commands like cat can
+// still pipe their payload cleanly.
+func printTrace(reg *nexus.Obs) {
+	roots := reg.Tracer().Take()
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "trace: no spans recorded")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "trace:")
+	obs.FormatTree(os.Stderr, roots)
+}
+
 // --- state files ---
 
 func (c *cli) path(name string) string { return filepath.Join(c.home, name) }
@@ -304,6 +337,7 @@ func (c *cli) newClient() (*nexus.Client, error) {
 	return nexus.NewClient(nexus.ClientConfig{
 		Store:        c.store,
 		PlatformSeed: seed,
+		Obs:          c.obs,
 	})
 }
 

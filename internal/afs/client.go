@@ -11,6 +11,7 @@ import (
 
 	"nexus/internal/backend"
 	"nexus/internal/netsim"
+	"nexus/internal/obs"
 	"nexus/internal/serial"
 	"nexus/internal/uuid"
 )
@@ -41,6 +42,10 @@ type ClientConfig struct {
 	// connections through a netsim fault injector. Nil means a plain
 	// netsim dial with Profile's costs.
 	Dial func(addr string) (net.Conn, error)
+	// Obs is the observability registry the client meters into
+	// (RPC/retry/fault counters, RPC latency, per-op spans). Optional;
+	// a private registry is created when nil.
+	Obs *obs.Registry
 }
 
 // Client is a caching AFS client. It implements backend.Store, so a
@@ -88,9 +93,36 @@ type Client struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup // callback-loop goroutines
 
-	// Stats for the benchmark breakdowns.
-	rpcs      atomic.Int64
-	cacheHits atomic.Int64
+	metrics clientMetrics
+}
+
+// clientMetrics holds the client's obs instrument handles. The legacy
+// Stats/Reconnects accessors are shims over these counters; metric
+// names are catalogued in DESIGN.md §11.
+type clientMetrics struct {
+	rpcs      *obs.Counter // afs_rpcs_total
+	cacheHits *obs.Counter // afs_cache_hits_total
+	// retries counts extra RPC attempts after a transport failure
+	// (attempt two onward; first attempts are not retries).
+	retries *obs.Counter // afs_retries_total
+	// transportFaults counts observed transport-level failures: failed
+	// dials (main and callback channel) and mid-exchange breaks. With a
+	// dial-fault-only injector this equals the injector's fault count
+	// exactly; see the chaos suite.
+	transportFaults *obs.Counter // afs_transport_faults_total
+	reconnects      *obs.Counter // afs_reconnects_total
+	rpcLat          *obs.Histogram
+	tracer          *obs.Tracer
+}
+
+func (m *clientMetrics) bind(reg *obs.Registry) {
+	m.rpcs = reg.Counter("afs_rpcs_total")
+	m.cacheHits = reg.Counter("afs_cache_hits_total")
+	m.retries = reg.Counter("afs_retries_total")
+	m.transportFaults = reg.Counter("afs_transport_faults_total")
+	m.reconnects = reg.Counter("afs_reconnects_total")
+	m.rpcLat = reg.Histogram("afs_rpc_seconds")
+	m.tracer = reg.Tracer()
 }
 
 var _ backend.Store = (*Client)(nil)
@@ -107,6 +139,10 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		cbOff:   cfg.DisableCallbacks,
 		dialFn:  cfg.Dial,
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	c.metrics.bind(cfg.Obs)
 	if c.timeout == 0 {
 		c.timeout = DefaultRPCTimeout
 	}
@@ -143,10 +179,14 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 func (c *Client) connectLocked() error {
 	conn, err := c.dialFn(c.addr)
 	if err != nil {
+		c.metrics.transportFaults.Inc()
 		return fmt.Errorf("%w: dialing: %w", errTransport, err)
 	}
 	if err := c.hello(conn, false); err != nil {
 		_ = conn.Close()
+		if errors.Is(err, errTransport) {
+			c.metrics.transportFaults.Inc()
+		}
 		return err
 	}
 	var cbConn net.Conn
@@ -154,11 +194,15 @@ func (c *Client) connectLocked() error {
 		cbConn, err = c.dialFn(c.addr)
 		if err != nil {
 			_ = conn.Close()
+			c.metrics.transportFaults.Inc()
 			return fmt.Errorf("%w: dialing callback channel: %w", errTransport, err)
 		}
 		if err := c.hello(cbConn, true); err != nil {
 			_ = conn.Close()
 			_ = cbConn.Close()
+			if errors.Is(err, errTransport) {
+				c.metrics.transportFaults.Inc()
+			}
 			return err
 		}
 	}
@@ -166,7 +210,9 @@ func (c *Client) connectLocked() error {
 	c.conn = conn
 	c.cbConn = cbConn
 	c.connMu.Unlock()
-	c.gen.Add(1)
+	if c.gen.Add(1) > 1 {
+		c.metrics.reconnects.Inc()
+	}
 	c.cbLost.Store(false)
 	if c.cache != nil {
 		c.cache.flush()
@@ -298,34 +344,84 @@ func (c *Client) call(op opCode, body []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	// The span and latency cover the whole logical RPC — reconnects,
+	// retries and backoff included — because that is the latency the
+	// layer above experiences. The span name is only materialized when
+	// tracing is on, keeping the disabled path allocation-free.
+	var span *obs.Span
+	if c.metrics.tracer.Enabled() {
+		span = c.metrics.tracer.Begin("afs." + op.String())
+	}
+	start := time.Now()
+	resp, retries, faults, err := c.callAttempts(op, body)
+	c.metrics.rpcLat.Record(time.Since(start))
+	if retries > 0 {
+		span.SetTagInt("retries", retries)
+	}
+	if faults > 0 {
+		span.SetTagInt("faults", faults)
+	}
+	if err != nil {
+		span.SetTag("error", errClass(err))
+	}
+	span.End()
+	return resp, err
+}
+
+// errClass names an RPC failure for span tags.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, ErrInterrupted):
+		return "interrupted"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, backend.ErrNotExist):
+		return "not-exist"
+	default:
+		return "error"
+	}
+}
+
+// callAttempts runs the reconnect/retry loop for one RPC, reporting how
+// many extra attempts and observed transport faults it took.
+func (c *Client) callAttempts(op opCode, body []byte) (resp []byte, retries, faults int64, err error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if c.closed.Load() {
-			return nil, ErrClosed
+			return nil, retries, faults, ErrClosed
+		}
+		if attempt > 1 {
+			retries++
+			c.metrics.retries.Inc()
 		}
 		if err := c.ensureConnLocked(); err != nil {
 			// Dial-level failure: nothing was sent, safe to retry for
-			// every op.
+			// every op. (connectLocked already counted the fault.)
+			faults++
 			lastErr = err
 		} else {
 			resp, err := c.exchangeLocked(op, body)
 			if err == nil || !errors.Is(err, errTransport) {
-				return resp, err
+				return resp, retries, faults, err
 			}
+			c.metrics.transportFaults.Inc()
+			faults++
 			c.dropConnLocked()
 			if !retryable(op) {
-				return nil, fmt.Errorf("afs: %s: %w: %w", op, ErrInterrupted, err)
+				return nil, retries, faults, fmt.Errorf("afs: %s: %w: %w", op, ErrInterrupted, err)
 			}
 			lastErr = err
 		}
 		if attempt >= c.retry.policy.MaxAttempts {
-			return nil, fmt.Errorf("afs: %s: %w: %w", op, ErrUnavailable, lastErr)
+			return nil, retries, faults, fmt.Errorf("afs: %s: %w: %w", op, ErrUnavailable, lastErr)
 		}
 		time.Sleep(c.retry.wait(attempt))
 		if c.closed.Load() {
-			return nil, ErrClosed
+			return nil, retries, faults, ErrClosed
 		}
 	}
 }
@@ -349,7 +445,7 @@ func (c *Client) exchangeLocked(op opCode, body []byte) ([]byte, error) {
 	conn := c.currentConn()
 	c.reqID++
 	id := c.reqID
-	c.rpcs.Add(1)
+	c.metrics.rpcs.Inc()
 	if c.timeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(c.timeout))
 		defer func() { _ = conn.SetDeadline(time.Time{}) }()
@@ -465,11 +561,11 @@ func (c *Client) GetVersioned(name string) ([]byte, uint64, error) {
 	if c.cache != nil && !c.cbLost.Load() {
 		data, negative, version, ok := c.cache.lookup(name)
 		if ok {
-			c.cacheHits.Add(1)
+			c.metrics.cacheHits.Inc()
 			return data, version, nil
 		}
 		if negative {
-			c.cacheHits.Add(1)
+			c.metrics.cacheHits.Inc()
 			return nil, 0, fmt.Errorf("afs: %s (cached): %w", name, backend.ErrNotExist)
 		}
 	}
@@ -557,9 +653,10 @@ func (c *Client) FlushCache() {
 	}
 }
 
-// Stats reports cumulative RPCs issued and cache hits served.
+// Stats reports cumulative RPCs issued and cache hits served (shim
+// over the afs_rpcs_total / afs_cache_hits_total registry counters).
 func (c *Client) Stats() (rpcs, cacheHits int64) {
-	return c.rpcs.Load(), c.cacheHits.Load()
+	return c.metrics.rpcs.Value(), c.metrics.cacheHits.Value()
 }
 
 // Reconnects reports how many times the client re-established its

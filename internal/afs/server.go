@@ -6,9 +6,10 @@ import (
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"nexus/internal/backend"
+	"nexus/internal/obs"
 	"nexus/internal/serial"
 )
 
@@ -29,12 +30,35 @@ type Server struct {
 	conns     map[net.Conn]bool          // accepted connections; guarded by mu
 	closed    bool                       // guarded by mu
 
-	// Stats counters, reported by the benchmark harness.
-	fetches atomic.Int64
-	stores  atomic.Int64
+	metrics serverMetrics
 
 	logf func(format string, args ...any)
 }
+
+// serverMetrics holds the server's obs instrument handles; the legacy
+// Stats accessor is a shim over the fetch/store counters.
+type serverMetrics struct {
+	fetches       *obs.Counter // afs_server_fetches_total
+	stores        *obs.Counter // afs_server_stores_total
+	requests      *obs.Counter // afs_server_requests_total
+	invalidations *obs.Counter // afs_server_invalidations_total
+	conns         *obs.Gauge   // afs_server_conns
+	requestLat    *obs.Histogram
+}
+
+func (m *serverMetrics) bind(reg *obs.Registry) {
+	m.fetches = reg.Counter("afs_server_fetches_total")
+	m.stores = reg.Counter("afs_server_stores_total")
+	m.requests = reg.Counter("afs_server_requests_total")
+	m.invalidations = reg.Counter("afs_server_invalidations_total")
+	m.conns = reg.Gauge("afs_server_conns")
+	m.requestLat = reg.Histogram("afs_server_request_seconds")
+}
+
+// SetObs rebinds the server's meters onto reg (the nexus-afsd daemon
+// shares one registry between the server and its /metrics endpoint).
+// Call before Serve; rebinding mid-flight loses in-window counts.
+func (s *Server) SetObs(reg *obs.Registry) { s.metrics.bind(reg) }
 
 type callbackConn struct {
 	mu   sync.Mutex // serializes frame writes
@@ -56,7 +80,7 @@ type lockWaiter struct {
 
 // NewServer creates a server persisting files to store.
 func NewServer(store backend.Store) *Server {
-	return &Server{
+	s := &Server{
 		store:     store,
 		versions:  make(map[string]uint64),
 		cachedBy:  make(map[string]map[string]bool),
@@ -66,6 +90,8 @@ func NewServer(store backend.Store) *Server {
 		conns:     make(map[net.Conn]bool),
 		logf:      func(string, ...any) {},
 	}
+	s.metrics.bind(obs.NewRegistry())
+	return s
 }
 
 // VersionSnapshot copies the per-file version counters. A restart
@@ -103,9 +129,10 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 	s.logf = logf
 }
 
-// Stats returns cumulative fetch and store RPC counts.
+// Stats returns cumulative fetch and store RPC counts (shim over the
+// afs_server_fetches_total / afs_server_stores_total counters).
 func (s *Server) Stats() (fetches, stores int64) {
-	return s.fetches.Load(), s.stores.Load()
+	return s.metrics.fetches.Value(), s.metrics.stores.Value()
 }
 
 // Serve accepts connections on l until the listener fails or the server
@@ -193,8 +220,10 @@ func (s *Server) Close() error {
 // Hello identifying the client and declaring whether this connection is
 // the RPC channel or the callback channel.
 func (s *Server) handleConn(conn net.Conn) {
+	s.metrics.conns.Add(1)
 	defer func() {
 		_ = conn.Close()
+		s.metrics.conns.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -232,7 +261,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		s.metrics.requests.Inc()
+		start := time.Now()
 		resp := s.dispatch(clientID, req)
+		s.metrics.requestLat.Record(time.Since(start))
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
@@ -304,7 +336,7 @@ func (s *Server) dispatch(clientID string, req frame) frame {
 		if err != nil {
 			return fail(errCodeBadRequest, err.Error())
 		}
-		s.fetches.Add(1)
+		s.metrics.fetches.Inc()
 		data, err := s.store.Get(name)
 		if err != nil {
 			// Register a callback promise even for misses, so the client
@@ -337,7 +369,7 @@ func (s *Server) dispatch(clientID string, req frame) frame {
 		if err := r.Finish(); err != nil {
 			return fail(errCodeBadRequest, err.Error())
 		}
-		s.stores.Add(1)
+		s.metrics.stores.Inc()
 		if err := s.store.Put(name, data); err != nil {
 			return s.storeError(req.reqID, name, err)
 		}
@@ -491,6 +523,7 @@ func (s *Server) bumpAndInvalidate(name, writer string) uint64 {
 		cb.mu.Lock()
 		err := writeFrame(cb.conn, frame{op: opInvalidate, body: encodeName(name)})
 		cb.mu.Unlock()
+		s.metrics.invalidations.Inc()
 		if err != nil {
 			s.logf("afs: callback delivery failed: %v", err)
 		}

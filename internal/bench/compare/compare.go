@@ -27,6 +27,12 @@ type Delta struct {
 	// Regressed is set when CurNs exceeds BaseNs by more than the
 	// tolerance, or when Missing.
 	Regressed bool
+	// P95Ratio and P99Ratio compare tail latencies when both reports
+	// carry histogram percentiles for the metric; zero otherwise. Tails
+	// are informational — too noisy to gate on — so they never set
+	// Regressed.
+	P95Ratio float64
+	P99Ratio float64
 }
 
 // Diff compares current against baseline metric by metric. tolerance is
@@ -58,6 +64,12 @@ func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, er
 					d.Ratio = cur.NsPerOp / base.NsPerOp
 				}
 				d.Regressed = cur.NsPerOp > base.NsPerOp*(1+tolerance)
+				if base.P95Ns > 0 && cur.P95Ns > 0 {
+					d.P95Ratio = cur.P95Ns / base.P95Ns
+				}
+				if base.P99Ns > 0 && cur.P99Ns > 0 {
+					d.P99Ratio = cur.P99Ns / base.P99Ns
+				}
 			}
 			if d.Regressed {
 				regressed = true
@@ -87,6 +99,13 @@ func Format(w io.Writer, deltas []Delta, tolerance float64) {
 		if d.Regressed {
 			flag = fmt.Sprintf("  REGRESSED (> +%.0f%%)", tolerance*100)
 		}
-		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx%s\n", name, d.BaseNs, d.CurNs, d.Ratio, flag)
+		tails := ""
+		if d.P95Ratio > 0 {
+			tails = fmt.Sprintf("  p95 %.2fx", d.P95Ratio)
+		}
+		if d.P99Ratio > 0 {
+			tails += fmt.Sprintf("  p99 %.2fx", d.P99Ratio)
+		}
+		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, tails, flag)
 	}
 }

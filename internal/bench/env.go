@@ -75,6 +75,11 @@ func (c Config) withDefaults() Config {
 type Env struct {
 	Config Config
 
+	// Obs is the observability registry shared by the whole NEXUS stack
+	// (vfs facade, enclave, SGX transitions, and the NEXUS-side AFS
+	// client), so experiments can read latency histograms after a run.
+	Obs *nexus.Obs
+
 	server   *afs.Server
 	listener net.Listener
 
@@ -105,8 +110,9 @@ func NewEnv(cfg Config) (*Env, error) {
 	go func() { _ = env.server.Serve(env.listener) }()
 	addr := l.Addr().String()
 
-	// NEXUS stack.
-	nexusAFS, err := afs.Dial(addr, afs.ClientConfig{Profile: cfg.Profile})
+	// NEXUS stack. One registry observes every layer of it.
+	env.Obs = nexus.NewObs()
+	nexusAFS, err := afs.Dial(addr, afs.ClientConfig{Profile: cfg.Profile, Obs: env.Obs})
 	if err != nil {
 		env.Close()
 		return nil, err
@@ -127,6 +133,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		TransitionCost:       cfg.TransitionCost,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
+		Obs:                  env.Obs,
 	})
 	if err != nil {
 		env.Close()

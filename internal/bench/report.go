@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+
+	"nexus/internal/obs"
 )
 
 // ReportSchema is the version stamped into every JSON report. Bump it
@@ -13,11 +15,32 @@ import (
 // refuses to diff reports with mismatched schemas.
 const ReportSchema = 1
 
-// Metric is one measured quantity within an experiment.
+// Metric is one measured quantity within an experiment. The percentile
+// fields are populated from observability histogram snapshots; they are
+// omitted (and ignored by the compare gate) when a report predates them,
+// so old and new reports stay diffable under the same schema.
 type Metric struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P95Ns       float64 `json:"p95_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+}
+
+// LatencyMetric converts a histogram snapshot into a Metric: the mean
+// becomes ns/op and the tails ride along for percentile diffing. A
+// never-recorded histogram yields the zero Metric.
+func LatencyMetric(s obs.HistSnapshot) Metric {
+	if s.Count == 0 {
+		return Metric{}
+	}
+	return Metric{
+		NsPerOp: float64(s.Mean()),
+		P50Ns:   float64(s.P50Ns),
+		P95Ns:   float64(s.P95Ns),
+		P99Ns:   float64(s.P99Ns),
+	}
 }
 
 // Experiment maps metric names (e.g. "write_read_1MB") to measurements.

@@ -29,8 +29,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"nexus/internal/backend"
+	"nexus/internal/obs"
 	"nexus/internal/parallel"
 	"nexus/internal/serial"
 )
@@ -64,7 +66,9 @@ func NewUser(name string) (*User, error) {
 	return &User{Name: name, priv: priv}, nil
 }
 
-// Stats meters the costs the revocation experiment reports.
+// Stats meters the costs the revocation experiment reports. Values
+// returned by Revoke/Stats are snapshots; cumulative accounting lives
+// in the obs registry (see cfsMetrics).
 type Stats struct {
 	// BytesReencrypted counts plaintext bytes passed through AES on
 	// re-encryption.
@@ -92,18 +96,59 @@ type FS struct {
 
 	mu      sync.Mutex
 	users   map[string]*User // all participants, owner included; guarded by mu
-	stats   Stats            // guarded by mu
 	workers int              // Revoke re-encryption fan-out; guarded by mu
+
+	metrics cfsMetrics
+}
+
+// cfsMetrics holds the filesystem's obs instrument handles. The
+// legacy Stats/ResetStats accessors are shims over these counters;
+// metric names are catalogued in DESIGN.md §11.
+type cfsMetrics struct {
+	reg              *obs.Registry
+	bytesReencrypted *obs.Counter // cryptofs_bytes_reencrypted_total
+	bytesUploaded    *obs.Counter // cryptofs_bytes_uploaded_total
+	filesTouched     *obs.Counter // cryptofs_files_touched_total
+	keyWraps         *obs.Counter // cryptofs_key_wraps_total
+	revokeLat        *obs.Histogram
+	workers          *obs.Gauge // cryptofs_workers
+	tracer           *obs.Tracer
+}
+
+func (m *cfsMetrics) bind(reg *obs.Registry) {
+	m.reg = reg
+	m.bytesReencrypted = reg.Counter("cryptofs_bytes_reencrypted_total")
+	m.bytesUploaded = reg.Counter("cryptofs_bytes_uploaded_total")
+	m.filesTouched = reg.Counter("cryptofs_files_touched_total")
+	m.keyWraps = reg.Counter("cryptofs_key_wraps_total")
+	m.revokeLat = reg.Histogram("cryptofs_revoke_seconds")
+	m.workers = reg.Gauge("cryptofs_workers")
+	m.tracer = reg.Tracer()
+}
+
+// add folds a per-call Stats snapshot into the cumulative counters.
+func (m *cfsMetrics) add(st Stats) {
+	m.bytesReencrypted.Add(st.BytesReencrypted)
+	m.bytesUploaded.Add(st.BytesUploaded)
+	m.filesTouched.Add(st.FilesTouched)
+	m.keyWraps.Add(st.KeyWraps)
 }
 
 // New creates a filesystem owned by owner.
 func New(store backend.Store, owner *User) *FS {
-	return &FS{
+	fs := &FS{
 		store: store,
 		owner: owner,
 		users: map[string]*User{owner.Name: owner},
 	}
+	fs.metrics.bind(obs.NewRegistry())
+	return fs
 }
+
+// SetObs rebinds the meters onto reg so the filesystem shares a
+// registry with the rest of a benchmark or test stack. Call before
+// use; rebinding mid-flight loses in-window counts.
+func (fs *FS) SetObs(reg *obs.Registry) { fs.metrics.bind(reg) }
 
 // AddUser registers a participant.
 func (fs *FS) AddUser(u *User) {
@@ -119,20 +164,29 @@ func (fs *FS) SetWorkers(w int) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.workers = w
+	fs.metrics.workers.Set(int64(w))
 }
 
-// Stats returns a snapshot of the meters.
+// Stats returns a snapshot of the meters, assembled from the registry
+// counters.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+	m := &fs.metrics
+	return Stats{
+		BytesReencrypted: m.bytesReencrypted.Value(),
+		BytesUploaded:    m.bytesUploaded.Value(),
+		FilesTouched:     m.filesTouched.Value(),
+		KeyWraps:         m.keyWraps.Value(),
+	}
 }
 
 // ResetStats zeroes the meters.
 func (fs *FS) ResetStats() {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.stats = Stats{}
+	m := &fs.metrics
+	m.bytesReencrypted.Reset()
+	m.bytesUploaded.Reset()
+	m.filesTouched.Reset()
+	m.keyWraps.Reset()
+	m.revokeLat.Reset()
 }
 
 // object names: file data under "data!<path>", key block under
@@ -204,7 +258,7 @@ func unwrapKeyFor(owner, user *User, wrapped []byte) ([]byte, error) {
 // meters into fs.stats; fs.mu is held.
 func (fs *FS) encryptAndStoreLocked(p string, data []byte, readers []string) error {
 	st, err := encryptAndStore(fs.store, fs.owner, fs.users, p, data, readers)
-	fs.stats.add(st)
+	fs.metrics.add(st)
 	return err
 }
 
@@ -382,6 +436,14 @@ func (fs *FS) Readers(p string) ([]string, error) {
 func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	span := fs.metrics.tracer.Begin("cryptofs.revoke")
+	span.SetTagInt("paths", int64(len(paths)))
+	span.SetTagInt("workers", int64(fs.workers))
+	start := time.Now()
+	defer func() {
+		fs.metrics.revokeLat.Record(time.Since(start))
+		span.End()
+	}()
 	perPath := make([]Stats, len(paths))
 	var total Stats
 	err := parallel.Ranges(len(paths), fs.workers, func(lo, hi int) error {
@@ -429,7 +491,7 @@ func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
 	for _, st := range perPath {
 		total.add(st)
 	}
-	fs.stats.add(total)
+	fs.metrics.add(total)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nexus/internal/metadata"
+	"nexus/internal/obs"
 	"nexus/internal/sgx"
 	"nexus/internal/uuid"
 )
@@ -109,9 +110,16 @@ type Config struct {
 	// hierarchy rollback detection at the cost of an extra metadata
 	// object read/write per operation. See internal/enclave/freshness.go.
 	FreshnessTree bool
+	// Obs is the observability registry the enclave (and its SGX
+	// container) meters into. Optional; a private registry is created
+	// when nil. Share one registry across the stack (vfs → enclave →
+	// sgx → afs) so a single scrape sees the whole data path.
+	Obs *obs.Registry
 }
 
-// Stats counts enclave-side work for the evaluation breakdowns.
+// Stats counts enclave-side work for the evaluation breakdowns. Since
+// the obs migration it is a snapshot assembled from the registry
+// counters (see enclaveMetrics); the field semantics are unchanged.
 type Stats struct {
 	// MetadataLoads counts metadata objects decrypted.
 	MetadataLoads int64
@@ -165,7 +173,54 @@ type Enclave struct {
 	cache     *metaCache
 	freshness map[uuid.UUID]uint64
 
-	stats Stats
+	metrics enclaveMetrics
+}
+
+// enclaveMetrics holds the enclave's instrument handles, resolved once
+// at construction so hot-path recording is a few atomic ops. The
+// legacy Stats/ResetStats accessors are shims over these counters.
+// Metric names are catalogued in DESIGN.md §11.
+type enclaveMetrics struct {
+	reg *obs.Registry
+
+	metadataLoads     *obs.Counter // enclave_metadata_loads_total
+	metadataCacheHits *obs.Counter // enclave_metadata_cache_hits_total
+	metadataFlushes   *obs.Counter // enclave_metadata_flushes_total
+	metadataBytes     *obs.Counter // enclave_metadata_bytes_written_total
+	dataBytes         *obs.Counter // enclave_data_bytes_written_total
+	chunks            *obs.Counter // enclave_chunk_crypto_chunks_total
+	chunkLat          *obs.Histogram
+	workers           *obs.Gauge // enclave_crypto_workers
+
+	// metaIO and dataIO meter the two ocall classes of the Table 5a/5b
+	// breakdowns (metadata fetch/store/lock vs encrypted file content).
+	metaIO ocallMeter
+	dataIO ocallMeter
+
+	tracer *obs.Tracer
+}
+
+// ocallMeter is the pair of instruments a timedOcall charges: a
+// cumulative nanosecond counter (backs the Stats duration fields) and
+// a latency histogram (backs tail-latency reporting).
+type ocallMeter struct {
+	ns  *obs.Counter
+	lat *obs.Histogram
+}
+
+func (m *enclaveMetrics) bind(reg *obs.Registry) {
+	m.reg = reg
+	m.metadataLoads = reg.Counter("enclave_metadata_loads_total")
+	m.metadataCacheHits = reg.Counter("enclave_metadata_cache_hits_total")
+	m.metadataFlushes = reg.Counter("enclave_metadata_flushes_total")
+	m.metadataBytes = reg.Counter("enclave_metadata_bytes_written_total")
+	m.dataBytes = reg.Counter("enclave_data_bytes_written_total")
+	m.chunks = reg.Counter("enclave_chunk_crypto_chunks_total")
+	m.chunkLat = reg.Histogram("enclave_chunk_crypto_seconds")
+	m.workers = reg.Gauge("enclave_crypto_workers")
+	m.metaIO = ocallMeter{ns: reg.Counter("enclave_metadata_io_ns_total"), lat: reg.Histogram("enclave_metadata_io_seconds")}
+	m.dataIO = ocallMeter{ns: reg.Counter("enclave_data_io_ns_total"), lat: reg.Histogram("enclave_data_io_seconds")}
+	m.tracer = reg.Tracer()
 }
 
 // New creates an enclave instance from cfg.
@@ -182,6 +237,9 @@ func New(cfg Config) (*Enclave, error) {
 	if cfg.ChunkSize == 0 {
 		cfg.ChunkSize = metadata.DefaultChunkSize
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	e := &Enclave{
 		sgx:       cfg.SGX,
 		store:     cfg.Store,
@@ -189,6 +247,11 @@ func New(cfg Config) (*Enclave, error) {
 		cfg:       cfg,
 		freshness: make(map[uuid.UUID]uint64),
 	}
+	e.metrics.bind(cfg.Obs)
+	// The SGX container meters its transitions into the same registry,
+	// so one scrape covers ecalls, metadata I/O and chunk crypto.
+	cfg.SGX.SetObs(cfg.Obs)
+	e.metrics.workers.Set(int64(cfg.CryptoWorkers))
 	if !cfg.DisableMetadataCache {
 		e.cache = newMetaCache(cfg.SGX)
 	}
@@ -202,24 +265,46 @@ func New(cfg Config) (*Enclave, error) {
 	return e, nil
 }
 
-// Stats returns a snapshot of the enclave's counters.
+// Stats returns a snapshot of the enclave's counters, assembled from
+// the obs registry (the evaluation-breakdown semantics predate the
+// registry and are preserved exactly).
 func (e *Enclave) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	m := &e.metrics
+	return Stats{
+		MetadataLoads:        m.metadataLoads.Value(),
+		MetadataCacheHits:    m.metadataCacheHits.Value(),
+		MetadataFlushes:      m.metadataFlushes.Value(),
+		MetadataBytesWritten: m.metadataBytes.Value(),
+		DataBytesWritten:     m.dataBytes.Value(),
+		MetadataIOTime:       time.Duration(m.metaIO.ns.Value()),
+		DataIOTime:           time.Duration(m.dataIO.ns.Value()),
+	}
 }
 
 // ResetStats zeroes the counters (and the underlying SGX transition
 // stats), used between benchmark phases.
 func (e *Enclave) ResetStats() {
-	e.mu.Lock()
-	e.stats = Stats{}
-	e.mu.Unlock()
+	m := &e.metrics
+	m.metadataLoads.Reset()
+	m.metadataCacheHits.Reset()
+	m.metadataFlushes.Reset()
+	m.metadataBytes.Reset()
+	m.dataBytes.Reset()
+	m.chunks.Reset()
+	m.chunkLat.Reset()
+	m.metaIO.ns.Reset()
+	m.metaIO.lat.Reset()
+	m.dataIO.ns.Reset()
+	m.dataIO.lat.Reset()
 	e.sgx.ResetStats()
 }
 
 // SGX exposes the underlying SGX container (for transition/time stats).
 func (e *Enclave) SGX() *sgx.Enclave { return e.sgx }
+
+// Obs returns the registry the enclave meters into, so layers above
+// (vfs) and beside (afs client) can share it.
+func (e *Enclave) Obs() *obs.Registry { return e.metrics.reg }
 
 // DropCaches discards the in-enclave decrypted metadata cache, forcing
 // subsequent operations to re-fetch and re-verify (the benchmark's
@@ -463,7 +548,7 @@ func (e *Enclave) ListUsers() ([]metadata.User, error) {
 // freshest version (§V-A).
 func (e *Enclave) withSupernodeLockLocked(fn func() error) error {
 	var release func()
-	if err := e.sgx.Ocall(func() error {
+	if err := e.timedOcall(e.metrics.metaIO, func() error {
 		var err error
 		release, err = e.store.Lock(SupernodeObjectName)
 		return err
@@ -481,7 +566,7 @@ func (e *Enclave) withSupernodeLockLocked(fn func() error) error {
 func (e *Enclave) loadSupernodeLocked() error {
 	var blob []byte
 	var version uint64
-	if err := e.sgx.Ocall(func() error {
+	if err := e.timedOcall(e.metrics.metaIO, func() error {
 		var err error
 		blob, version, err = e.store.GetVersioned(SupernodeObjectName)
 		return err
@@ -524,7 +609,7 @@ func (e *Enclave) flushSupernodeLocked() error {
 	if err != nil {
 		return fmt.Errorf("sealing supernode: %w", err)
 	}
-	if err := e.sgx.Ocall(func() error {
+	if err := e.timedOcall(e.metrics.metaIO, func() error {
 		_, err := e.store.PutVersioned(SupernodeObjectName, blob)
 		return err
 	}); err != nil {
@@ -532,7 +617,7 @@ func (e *Enclave) flushSupernodeLocked() error {
 	}
 	e.superBlob = blob
 	e.freshness[e.super.VolumeUUID] = e.superVersion
-	e.stats.MetadataFlushes++
-	e.stats.MetadataBytesWritten += int64(len(blob))
+	e.metrics.metadataFlushes.Inc()
+	e.metrics.metadataBytes.Add(int64(len(blob)))
 	return e.recordFreshnessLocked(map[uuid.UUID]uint64{e.super.VolumeUUID: e.superVersion})
 }

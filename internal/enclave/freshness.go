@@ -145,8 +145,8 @@ func (e *Enclave) recordFreshnessLocked(updates map[uuid.UUID]uint64) error {
 		return fmt.Errorf("uploading freshness table: %w", err)
 	}
 	e.freshness[freshTableID] = t.Seq
-	e.stats.MetadataFlushes++
-	e.stats.MetadataBytesWritten += int64(len(blob))
+	e.metrics.metadataFlushes.Inc()
+	e.metrics.metadataBytes.Add(int64(len(blob)))
 	return nil
 }
 

@@ -727,6 +727,27 @@ func (e *Enclave) lockDirsLocked(a, b uuid.UUID) (func(), error) {
 	}, nil
 }
 
+// timedChunkCrypto meters one pass of the chunk-crypto pipeline: a
+// span tagged with chunk count and worker width, the cumulative chunk
+// counter, and the pipeline latency histogram. plainLen is the
+// plaintext length the pipeline processes (the write payload, or the
+// filenode size on reads).
+func (e *Enclave) timedChunkCrypto(plainLen int, fn func() ([]byte, error)) ([]byte, error) {
+	var chunks int64
+	if cs := int64(e.cfg.ChunkSize); plainLen > 0 && cs > 0 {
+		chunks = (int64(plainLen) + cs - 1) / cs
+	}
+	span := e.metrics.tracer.Begin("enclave.chunkcrypto")
+	span.SetTagInt("chunks", chunks)
+	span.SetTagInt("workers", int64(e.cfg.CryptoWorkers))
+	start := time.Now()
+	out, err := fn()
+	e.metrics.chunkLat.Record(time.Since(start))
+	e.metrics.chunks.Add(chunks)
+	span.End()
+	return out, err
+}
+
 // WriteFile replaces a file's contents (nexus_fs_encrypt): every chunk
 // is re-encrypted with fresh keys, the ciphertext is uploaded, and the
 // filenode is re-sealed.
@@ -772,7 +793,9 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 		if err != nil {
 			return err
 		}
-		blob, err := f.EncryptContentWorkers(data, e.cfg.CryptoWorkers)
+		blob, err := e.timedChunkCrypto(len(data), func() ([]byte, error) {
+			return f.EncryptContentWorkers(data, e.cfg.CryptoWorkers)
+		})
 		if err != nil {
 			return err
 		}
@@ -780,7 +803,7 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 			e.cache.invalidate(f.UUID)
 			return fmt.Errorf("uploading data object: %w", err)
 		}
-		e.stats.DataBytesWritten += int64(len(blob))
+		e.metrics.dataBytes.Add(int64(len(blob)))
 		if err := e.flushFilenodeLocked(f, fv+1); err != nil {
 			e.cache.invalidate(f.UUID)
 			return err
@@ -835,7 +858,9 @@ func (e *Enclave) ReadFile(path string) ([]byte, error) {
 		if err != nil {
 			return fmt.Errorf("fetching data object: %w", err)
 		}
-		out, err = f.DecryptContentWorkers(blob, e.cfg.CryptoWorkers)
+		out, err = e.timedChunkCrypto(int(f.Size), func() ([]byte, error) {
+			return f.DecryptContentWorkers(blob, e.cfg.CryptoWorkers)
+		})
 		return err
 	})
 	if err != nil {

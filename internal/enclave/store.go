@@ -84,15 +84,18 @@ func (c *metaCache) clear() {
 func objName(id uuid.UUID) string { return id.String() }
 
 // timedOcall runs fn as an ocall, charging its wall time to the given
-// accumulator (metadata vs data I/O, for the Table 5a/5b breakdowns).
-// It is the single choke point for all store I/O, so storage-substrate
-// faults (unreachable service, timeout, interrupted exchange) are
-// classified here: they gain the ErrStoreUnavailable sentinel while
-// keeping the backend sentinel in the chain.
-func (e *Enclave) timedOcall(acc *time.Duration, fn func() error) error {
+// meter (metadata vs data I/O, for the Table 5a/5b breakdowns: a
+// cumulative ns counter plus a latency histogram). It is the single
+// choke point for all store I/O, so storage-substrate faults
+// (unreachable service, timeout, interrupted exchange) are classified
+// here: they gain the ErrStoreUnavailable sentinel while keeping the
+// backend sentinel in the chain.
+func (e *Enclave) timedOcall(m ocallMeter, fn func() error) error {
 	start := time.Now()
 	err := e.sgx.Ocall(fn)
-	*acc += time.Since(start)
+	elapsed := time.Since(start)
+	m.ns.Add(int64(elapsed))
+	m.lat.Record(elapsed)
 	if err != nil && backend.IsUnavailable(err) {
 		return fmt.Errorf("%w: %w", ErrStoreUnavailable, err)
 	}
@@ -104,7 +107,7 @@ func (e *Enclave) timedOcall(acc *time.Duration, fn func() error) error {
 func (e *Enclave) fetchObject(name string) ([]byte, uint64, error) {
 	var data []byte
 	var version uint64
-	err := e.timedOcall(&e.stats.MetadataIOTime, func() error {
+	err := e.timedOcall(e.metrics.metaIO, func() error {
 		var err error
 		data, version, err = e.store.GetVersioned(name)
 		return err
@@ -118,7 +121,7 @@ func (e *Enclave) fetchObject(name string) ([]byte, uint64, error) {
 // putObject uploads raw metadata object bytes through the ocall surface.
 func (e *Enclave) putObject(name string, data []byte) (uint64, error) {
 	var version uint64
-	err := e.timedOcall(&e.stats.MetadataIOTime, func() error {
+	err := e.timedOcall(e.metrics.metaIO, func() error {
 		var err error
 		version, err = e.store.PutVersioned(name, data)
 		return err
@@ -131,7 +134,7 @@ func (e *Enclave) putObject(name string, data []byte) (uint64, error) {
 func (e *Enclave) fetchDataObject(name string) ([]byte, uint64, error) {
 	var data []byte
 	var version uint64
-	err := e.timedOcall(&e.stats.DataIOTime, func() error {
+	err := e.timedOcall(e.metrics.dataIO, func() error {
 		var err error
 		data, version, err = e.store.GetVersioned(name)
 		return err
@@ -144,7 +147,7 @@ func (e *Enclave) fetchDataObject(name string) ([]byte, uint64, error) {
 
 func (e *Enclave) putDataObject(name string, data []byte) (uint64, error) {
 	var version uint64
-	err := e.timedOcall(&e.stats.DataIOTime, func() error {
+	err := e.timedOcall(e.metrics.dataIO, func() error {
 		var err error
 		version, err = e.store.PutVersioned(name, data)
 		return err
@@ -154,13 +157,13 @@ func (e *Enclave) putDataObject(name string, data []byte) (uint64, error) {
 
 // deleteObject removes an object through the ocall surface.
 func (e *Enclave) deleteObject(name string) error {
-	return e.timedOcall(&e.stats.MetadataIOTime, func() error { return e.store.Delete(name) })
+	return e.timedOcall(e.metrics.metaIO, func() error { return e.store.Delete(name) })
 }
 
 // lockObject acquires the store's advisory lock on an object.
 func (e *Enclave) lockObject(name string) (func(), error) {
 	var release func()
-	err := e.timedOcall(&e.stats.MetadataIOTime, func() error {
+	err := e.timedOcall(e.metrics.metaIO, func() error {
 		var err error
 		release, err = e.store.Lock(name)
 		return err
@@ -199,7 +202,7 @@ func (e *Enclave) loadDirnode(id, parent uuid.UUID) (*metadata.Dirnode, uint64, 
 		}
 		if obj, ok := e.cache.get(id, storeVersion); ok {
 			if d, ok := obj.(*metadata.Dirnode); ok && d.Parent == parent {
-				e.stats.MetadataCacheHits++
+				e.metrics.metadataCacheHits.Inc()
 				return d, e.freshness[id], nil
 			}
 		}
@@ -238,7 +241,7 @@ func (e *Enclave) openBlobChecked(id uuid.UUID, blob []byte, wantType metadata.O
 	if err != nil {
 		return metadata.Preamble{}, nil, fmt.Errorf("verifying %s %s: %w", wantType, id, err)
 	}
-	e.stats.MetadataLoads++
+	e.metrics.metadataLoads.Inc()
 	if p.Type != wantType {
 		return metadata.Preamble{}, nil, fmt.Errorf("%w: object %s is a %s, want %s",
 			metadata.ErrTampered, id, p.Type, wantType)
@@ -338,8 +341,8 @@ func (e *Enclave) flushDirnodeLocked(d *metadata.Dirnode, version uint64) error 
 		b.OnStore = true
 		e.freshness[b.UUID] = version
 		freshUpdates[b.UUID] = version
-		e.stats.MetadataFlushes++
-		e.stats.MetadataBytesWritten += int64(len(blob))
+		e.metrics.metadataFlushes.Inc()
+		e.metrics.metadataBytes.Add(int64(len(blob)))
 	}
 
 	blob, err := metadata.Seal(e.rootKey, metadata.Preamble{
@@ -356,8 +359,8 @@ func (e *Enclave) flushDirnodeLocked(d *metadata.Dirnode, version uint64) error 
 		return fmt.Errorf("uploading dirnode %s: %w", d.UUID, err)
 	}
 	e.freshness[d.UUID] = version
-	e.stats.MetadataFlushes++
-	e.stats.MetadataBytesWritten += int64(len(blob))
+	e.metrics.metadataFlushes.Inc()
+	e.metrics.metadataBytes.Add(int64(len(blob)))
 	if e.cache != nil {
 		e.cache.put(d.UUID, storeVersion, d, int64(len(blob))+256)
 	}
@@ -378,7 +381,7 @@ func (e *Enclave) loadFilenode(id, parent uuid.UUID) (*metadata.Filenode, uint64
 		if obj, ok := e.cache.get(id, storeVersion); ok {
 			if f, ok := obj.(*metadata.Filenode); ok {
 				if f.LinkCount > 1 || f.Parent.IsNil() || f.Parent == parent {
-					e.stats.MetadataCacheHits++
+					e.metrics.metadataCacheHits.Inc()
 					return f, e.freshness[id], nil
 				}
 			}
@@ -418,8 +421,8 @@ func (e *Enclave) flushFilenodeLocked(f *metadata.Filenode, version uint64) erro
 		return fmt.Errorf("uploading filenode %s: %w", f.UUID, err)
 	}
 	e.freshness[f.UUID] = version
-	e.stats.MetadataFlushes++
-	e.stats.MetadataBytesWritten += int64(len(blob))
+	e.metrics.metadataFlushes.Inc()
+	e.metrics.metadataBytes.Add(int64(len(blob)))
 	if e.cache != nil {
 		e.cache.put(f.UUID, storeVersion, f, int64(len(blob))+128)
 	}

@@ -1,0 +1,68 @@
+//go:build !race
+
+// Allocation assertions are meaningless under the race detector (its
+// instrumentation allocates), so this file is excluded from -race runs;
+// the plain CI test job executes it.
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotPathAllocationFree proves the claim the whole instrumentation
+// design rests on: recording a metric, moving a gauge, and hitting a
+// disabled tracer cost zero heap allocations.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("op_seconds")
+	tr := r.Tracer() // disabled: Begin must return nil without allocating
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter_inc", func() { c.Inc() }},
+		{"counter_add", func() { c.Add(3) }},
+		{"gauge_set", func() { g.Set(7) }},
+		{"histogram_record", func() { h.Record(1500 * time.Nanosecond) }},
+		{"disabled_span", func() {
+			s := tr.Begin("op")
+			s.SetTag("k", "v")
+			s.End()
+		}},
+		{"lookup_record", func() { r.Counter("ops_total").Inc() }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(1000, c.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per op, want 0", c.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%100000) * time.Nanosecond)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	tr := NewRegistry().Tracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("op").End()
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// instruments print in name order and bucket bounds use Go's shortest
+// float formatting, so the format is pinned by a golden-file test.
+//
+// Counters and gauges print as-is; histograms print the conventional
+// _bucket/_sum/_count triple with `le` bounds converted from the
+// internal nanosecond ladder to seconds.
+func WritePrometheus(w io.Writer, r *Registry) {
+	for _, name := range r.counterNames() {
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, r.CounterValue(name))
+	}
+	for _, name := range r.gaugeNames() {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, r.GaugeValue(name))
+	}
+	for _, name := range r.histNames() {
+		s := r.Snapshot(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i := 0; i < NumBuckets-1; i++ {
+			cum += s.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatSeconds(BucketBound(i)), cum)
+		}
+		cum += s.Buckets[NumBuckets-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatSeconds(s.SumNs))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}
+}
+
+// formatSeconds renders a nanosecond value as seconds using the
+// shortest representation that round-trips (Prometheus convention).
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the Prometheus text
+// exposition of the registry; mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+}
+
+// ExpvarFunc returns a closure suitable for expvar.Publish via
+// expvar.Func: a JSON-friendly snapshot of every instrument, with
+// histograms flattened to count/sum/min/max/p50/p95/p99 (ns).
+func (r *Registry) ExpvarFunc() func() any {
+	return func() any {
+		out := map[string]any{}
+		counters := map[string]int64{}
+		for _, name := range r.counterNames() {
+			counters[name] = r.CounterValue(name)
+		}
+		gauges := map[string]int64{}
+		for _, name := range r.gaugeNames() {
+			gauges[name] = r.GaugeValue(name)
+		}
+		hists := map[string]any{}
+		for _, name := range r.histNames() {
+			s := r.Snapshot(name)
+			hists[name] = map[string]int64{
+				"count":  s.Count,
+				"sum_ns": s.SumNs,
+				"min_ns": s.MinNs,
+				"max_ns": s.MaxNs,
+				"p50_ns": s.P50Ns,
+				"p95_ns": s.P95Ns,
+				"p99_ns": s.P99Ns,
+			}
+		}
+		out["counters"] = counters
+		out["gauges"] = gauges
+		out["histograms"] = hists
+		return out
+	}
+}

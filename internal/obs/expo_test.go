@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents:
+// fixed counter/gauge values and histogram observations placed in known
+// buckets.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("afs_rpcs_total").Add(3)
+	r.Counter("enclave_metadata_loads_total").Add(12)
+	r.Gauge("enclave_crypto_workers").Set(4)
+	h := r.Histogram("vfs_read_seconds")
+	h.Record(500 * time.Nanosecond)  // bucket 0 (≤1µs)
+	h.Record(1500 * time.Nanosecond) // bucket 1 (≤2µs)
+	h.Record(3000 * time.Nanosecond) // bucket 2 (≤4µs)
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition format: any change to
+// bucket bounds, float formatting, or line ordering shows up as a diff
+// against testdata/prometheus.golden (refresh with go test -update).
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	WritePrometheus(&sb, goldenRegistry())
+	got := sb.String()
+
+	const path = "testdata/prometheus.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	var sb strings.Builder
+	WritePrometheus(&sb, goldenRegistry())
+	out := sb.String()
+	// The three observations land in buckets 0, 1, 2, so the cumulative
+	// counts must read 1, 2, 3 and +Inf must equal the total count.
+	for _, line := range []string{
+		`vfs_read_seconds_bucket{le="1e-06"} 1`,
+		`vfs_read_seconds_bucket{le="2e-06"} 2`,
+		`vfs_read_seconds_bucket{le="4e-06"} 3`,
+		`vfs_read_seconds_bucket{le="+Inf"} 3`,
+		`vfs_read_seconds_sum 5e-06`,
+		`vfs_read_seconds_count 3`,
+		`# TYPE afs_rpcs_total counter`,
+		`afs_rpcs_total 3`,
+		`# TYPE enclave_crypto_workers gauge`,
+		`enclave_crypto_workers 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q\nfull output:\n%s", line, out)
+		}
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	rec := httptest.NewRecorder()
+	goldenRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "afs_rpcs_total 3") {
+		t.Errorf("handler body missing metrics:\n%s", rec.Body.String())
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	v := goldenRegistry().ExpvarFunc()()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("expvar value not JSON-marshalable: %v", err)
+	}
+	var decoded struct {
+		Counters   map[string]int64            `json:"counters"`
+		Gauges     map[string]int64            `json:"gauges"`
+		Histograms map[string]map[string]int64 `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["afs_rpcs_total"] != 3 {
+		t.Errorf("counters = %v", decoded.Counters)
+	}
+	if decoded.Gauges["enclave_crypto_workers"] != 4 {
+		t.Errorf("gauges = %v", decoded.Gauges)
+	}
+	h := decoded.Histograms["vfs_read_seconds"]
+	if h["count"] != 3 || h["sum_ns"] != 5000 || h["min_ns"] != 500 || h["max_ns"] != 3000 {
+		t.Errorf("histogram = %v", h)
+	}
+}

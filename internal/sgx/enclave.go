@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nexus/internal/obs"
 )
 
 // Enclave is a loaded enclave instance: a code identity (measurement)
@@ -29,18 +31,40 @@ type Enclave struct {
 	mu      sync.Mutex
 	heapEPC int64 // dynamic allocations charged via AllocEPC; guarded by mu
 
-	stats Stats
+	metrics transitionMetrics
 }
 
-// Stats records enclave activity for the benchmark breakdowns
-// ("Enclave Runtime" in Tables 5a/5b of the paper).
-type Stats struct {
-	Ecalls atomic.Int64
-	Ocalls atomic.Int64
-	// TimeInEnclave accumulates wall time spent inside ecall bodies,
-	// including the simulated transition cost, in nanoseconds.
-	TimeInEnclave atomic.Int64
+// transitionMetrics holds the enclave's handles into the obs registry.
+// The counters back the benchmark breakdowns ("Enclave Runtime" in
+// Tables 5a/5b of the paper); the legacy EcallCount/OcallCount/
+// TimeInEnclave accessors are shims over them. See DESIGN.md §11 for
+// the metric name taxonomy.
+type transitionMetrics struct {
+	ecalls *obs.Counter // sgx_ecalls_total
+	ocalls *obs.Counter // sgx_ocalls_total
+	// timeInEnclaveNs accumulates wall time spent inside ecall bodies,
+	// including the simulated transition cost, in nanoseconds. Ocall
+	// subtracts the time spent outside, so within an ecall window the
+	// value can transiently dip; it is net-increasing per operation.
+	timeInEnclaveNs *obs.Counter // sgx_time_in_enclave_ns_total
+	ecallLat        *obs.Histogram
+	ocallLat        *obs.Histogram
+	tracer          *obs.Tracer
 }
+
+func (m *transitionMetrics) bind(reg *obs.Registry) {
+	m.ecalls = reg.Counter("sgx_ecalls_total")
+	m.ocalls = reg.Counter("sgx_ocalls_total")
+	m.timeInEnclaveNs = reg.Counter("sgx_time_in_enclave_ns_total")
+	m.ecallLat = reg.Histogram("sgx_ecall_seconds")
+	m.ocallLat = reg.Histogram("sgx_ocall_seconds")
+	m.tracer = reg.Tracer()
+}
+
+// SetObs rebinds the enclave's transition accounting onto reg so the
+// whole client stack meters into one registry. Call it before the
+// enclave starts serving; rebinding mid-flight loses in-window counts.
+func (e *Enclave) SetObs(reg *obs.Registry) { e.metrics.bind(reg) }
 
 // CreateEnclave loads an image onto the platform, charging its size
 // against the EPC budget.
@@ -52,12 +76,16 @@ func (p *Platform) CreateEnclave(img Image) (*Enclave, error) {
 	if err := p.allocEPC(base); err != nil {
 		return nil, fmt.Errorf("sgx: loading enclave %q: %w", img.Name, err)
 	}
-	return &Enclave{
+	e := &Enclave{
 		platform:    p,
 		measurement: img.Measure(),
 		image:       img,
 		baseEPC:     base,
-	}, nil
+	}
+	// Every enclave meters from birth; SetObs swaps in a shared
+	// registry when the caller wants one scrape across the stack.
+	e.metrics.bind(obs.NewRegistry())
+	return e, nil
 }
 
 // Measurement returns the enclave's MRENCLAVE value.
@@ -67,22 +95,24 @@ func (e *Enclave) Measurement() Measurement { return e.measurement }
 func (e *Enclave) Platform() *Platform { return e.platform }
 
 // EcallCount and OcallCount report transition totals.
-func (e *Enclave) EcallCount() int64 { return e.stats.Ecalls.Load() }
+func (e *Enclave) EcallCount() int64 { return e.metrics.ecalls.Value() }
 
 // OcallCount reports the number of ocall transitions.
-func (e *Enclave) OcallCount() int64 { return e.stats.Ocalls.Load() }
+func (e *Enclave) OcallCount() int64 { return e.metrics.ocalls.Value() }
 
 // TimeInEnclave reports accumulated wall time spent inside ecalls.
 func (e *Enclave) TimeInEnclave() time.Duration {
-	return time.Duration(e.stats.TimeInEnclave.Load())
+	return time.Duration(e.metrics.timeInEnclaveNs.Value())
 }
 
 // ResetStats zeroes the transition counters and timers (used between
 // benchmark phases).
 func (e *Enclave) ResetStats() {
-	e.stats.Ecalls.Store(0)
-	e.stats.Ocalls.Store(0)
-	e.stats.TimeInEnclave.Store(0)
+	e.metrics.ecalls.Reset()
+	e.metrics.ocalls.Reset()
+	e.metrics.timeInEnclaveNs.Reset()
+	e.metrics.ecallLat.Reset()
+	e.metrics.ocallLat.Reset()
 }
 
 // Destroy tears the enclave down, releasing its EPC. Real hardware zeroes
@@ -114,13 +144,17 @@ func (e *Enclave) Ecall(fn func() error) error {
 	if err := e.checkAlive(); err != nil {
 		return err
 	}
+	span := e.metrics.tracer.Begin("sgx.ecall")
 	start := time.Now()
-	e.stats.Ecalls.Add(1)
+	e.metrics.ecalls.Inc()
 	if c := e.platform.config.TransitionCost; c > 0 {
 		spin(c)
 	}
 	err := fn()
-	e.stats.TimeInEnclave.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	e.metrics.timeInEnclaveNs.Add(int64(elapsed))
+	e.metrics.ecallLat.Record(elapsed)
+	span.End()
 	return err
 }
 
@@ -131,15 +165,19 @@ func (e *Enclave) Ocall(fn func() error) error {
 	if err := e.checkAlive(); err != nil {
 		return err
 	}
-	e.stats.Ocalls.Add(1)
+	span := e.metrics.tracer.Begin("sgx.ocall")
+	e.metrics.ocalls.Inc()
 	if c := e.platform.config.TransitionCost; c > 0 {
 		spin(c)
 	}
 	outside := time.Now()
 	err := fn()
+	elapsed := time.Since(outside)
 	// Subtract the time spent outside from enclave residency: Ocall is
 	// always invoked from within an Ecall body, whose timer is running.
-	e.stats.TimeInEnclave.Add(-int64(time.Since(outside)))
+	e.metrics.timeInEnclaveNs.Add(-int64(elapsed))
+	e.metrics.ocallLat.Record(elapsed)
+	span.End()
 	return err
 }
 

@@ -21,11 +21,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"nexus/internal/acl"
 	"nexus/internal/backend"
 	"nexus/internal/enclave"
 	"nexus/internal/metadata"
+	"nexus/internal/obs"
 )
 
 // VersionedStore adapts a plain backend.Store to the enclave's versioned
@@ -88,11 +90,45 @@ type DirEntry struct {
 
 // FS is the user-facing filesystem over a mounted NEXUS volume.
 type FS struct {
-	e *enclave.Enclave
+	e       *enclave.Enclave
+	metrics vfsMetrics
 }
 
-// New wraps a mounted, authenticated enclave.
-func New(e *enclave.Enclave) *FS { return &FS{e: e} }
+// vfsMetrics instruments the facade's top-level operations: each op gets
+// a count and a latency histogram, and — when tracing is enabled — a
+// root span under which the enclave and storage layers hang their own.
+type vfsMetrics struct {
+	opens, reads, writes, closes, syncs, setacls *obs.Counter
+
+	openLat, readLat, writeLat, closeLat, syncLat, setaclLat *obs.Histogram
+
+	tracer *obs.Tracer
+}
+
+func (m *vfsMetrics) bind(reg *obs.Registry) {
+	m.opens = reg.Counter("vfs_open_total")
+	m.reads = reg.Counter("vfs_read_total")
+	m.writes = reg.Counter("vfs_write_total")
+	m.closes = reg.Counter("vfs_close_total")
+	m.syncs = reg.Counter("vfs_sync_total")
+	m.setacls = reg.Counter("vfs_setacl_total")
+	m.openLat = reg.Histogram("vfs_open_seconds")
+	m.readLat = reg.Histogram("vfs_read_seconds")
+	m.writeLat = reg.Histogram("vfs_write_seconds")
+	m.closeLat = reg.Histogram("vfs_close_seconds")
+	m.syncLat = reg.Histogram("vfs_sync_seconds")
+	m.setaclLat = reg.Histogram("vfs_setacl_seconds")
+	m.tracer = reg.Tracer()
+}
+
+// New wraps a mounted, authenticated enclave. The facade records into
+// the enclave's observability registry so one registry carries the whole
+// vfs → enclave → storage stack.
+func New(e *enclave.Enclave) *FS {
+	fs := &FS{e: e}
+	fs.metrics.bind(e.Obs())
+	return fs
+}
 
 // Enclave exposes the underlying enclave for administrative operations
 // (user and ACL management) and statistics.
@@ -124,6 +160,13 @@ func (fs *FS) Touch(p string) error { return fs.e.Touch(p) }
 
 // WriteFile writes data to the file at p, creating it if necessary.
 func (fs *FS) WriteFile(p string, data []byte) error {
+	span := fs.metrics.tracer.Begin("vfs.write")
+	start := time.Now()
+	defer func() {
+		fs.metrics.writes.Inc()
+		fs.metrics.writeLat.Record(time.Since(start))
+		span.End()
+	}()
 	err := fs.e.WriteFile(p, data)
 	if errors.Is(err, enclave.ErrNotFound) {
 		if err := fs.e.Touch(p); err != nil && !errors.Is(err, enclave.ErrExists) {
@@ -135,7 +178,16 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 }
 
 // ReadFile returns the file's contents.
-func (fs *FS) ReadFile(p string) ([]byte, error) { return fs.e.ReadFile(p) }
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	span := fs.metrics.tracer.Begin("vfs.read")
+	start := time.Now()
+	defer func() {
+		fs.metrics.reads.Inc()
+		fs.metrics.readLat.Record(time.Since(start))
+		span.End()
+	}()
+	return fs.e.ReadFile(p)
+}
 
 // Remove deletes a file, symlink, or empty directory.
 func (fs *FS) Remove(p string) error { return fs.e.Remove(p) }
@@ -277,6 +329,13 @@ func IsUnavailable(err error) bool {
 
 // SetACL grants rights to a user on a directory (acl.None revokes).
 func (fs *FS) SetACL(dirPath, userName string, rights acl.Rights) error {
+	span := fs.metrics.tracer.Begin("vfs.setacl")
+	start := time.Now()
+	defer func() {
+		fs.metrics.setacls.Inc()
+		fs.metrics.setaclLat.Record(time.Since(start))
+		span.End()
+	}()
 	return fs.e.SetACL(dirPath, userName, rights)
 }
 
@@ -312,6 +371,13 @@ type File struct {
 
 // Open opens the file at p.
 func (fs *FS) Open(p string, flags int) (*File, error) {
+	span := fs.metrics.tracer.Begin("vfs.open")
+	start := time.Now()
+	defer func() {
+		fs.metrics.opens.Inc()
+		fs.metrics.openLat.Record(time.Since(start))
+		span.End()
+	}()
 	f := &File{fs: fs, path: p, flags: flags, open: true}
 	data, err := fs.e.ReadFile(p)
 	switch {
@@ -443,6 +509,14 @@ func (f *File) Size() int64 {
 func (f *File) Sync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	m := &f.fs.metrics
+	span := m.tracer.Begin("vfs.sync")
+	start := time.Now()
+	defer func() {
+		m.syncs.Inc()
+		m.syncLat.Record(time.Since(start))
+		span.End()
+	}()
 	return f.syncLocked()
 }
 
@@ -469,6 +543,14 @@ func (f *File) Close() error {
 	if !f.open {
 		return nil
 	}
+	m := &f.fs.metrics
+	span := m.tracer.Begin("vfs.close")
+	start := time.Now()
+	defer func() {
+		m.closes.Inc()
+		m.closeLat.Record(time.Since(start))
+		span.End()
+	}()
 	err := f.syncLocked()
 	if err != nil && IsUnavailable(err) {
 		return err

@@ -45,6 +45,7 @@ import (
 	"nexus/internal/acl"
 	"nexus/internal/backend"
 	"nexus/internal/enclave"
+	"nexus/internal/obs"
 	"nexus/internal/sgx"
 	"nexus/internal/uuid"
 	"nexus/internal/vfs"
@@ -70,7 +71,22 @@ type (
 	ObjectStore = enclave.ObjectStore
 	// Store is the plain storage interface (wrapped automatically).
 	Store = backend.Store
+	// Obs is the observability registry: counters, gauges, latency
+	// histograms, and the tracer for one client stack. See
+	// ClientConfig.Obs and Client.Obs.
+	Obs = obs.Registry
+	// Span is one node of a trace: an operation with a duration, tags,
+	// and child spans from the layers beneath it.
+	Span = obs.Span
+	// HistSnapshot is a point-in-time latency histogram summary
+	// (count, sum, min/max, p50/p95/p99).
+	HistSnapshot = obs.HistSnapshot
 )
+
+// NewObs creates an observability registry to share across clients (or
+// to read from before the client exists). Optional: each Client creates
+// its own when ClientConfig.Obs is nil.
+func NewObs() *Obs { return obs.NewRegistry() }
 
 // Access rights, re-exported from the ACL model (AFS letter vocabulary).
 const (
@@ -190,6 +206,11 @@ type ClientConfig struct {
 	// authenticated table updated on every write. Stronger freshness at
 	// the cost of one extra object read/write per operation.
 	FreshnessTree bool
+	// Obs, when set, is the observability registry the whole stack
+	// (vfs, enclave, SGX transitions) records into — share one registry
+	// across clients to aggregate, or leave nil for a private registry
+	// reachable via Client.Obs.
+	Obs *Obs
 }
 
 // enclaveImage is the code identity of this NEXUS enclave build. Both
@@ -242,6 +263,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		CryptoWorkers:        cfg.CryptoWorkers,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
+		Obs:                  cfg.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("nexus: creating enclave: %w", err)
@@ -251,6 +273,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 
 // Enclave exposes the underlying enclave (statistics, advanced use).
 func (c *Client) Enclave() *enclave.Enclave { return c.encl }
+
+// Obs returns the client's observability registry: every layer of the
+// stack (vfs facade, enclave, SGX transition simulation) records its
+// counters, latency histograms, and trace spans here. Enable tracing
+// with c.Obs().Tracer().Enable() and drain span trees with Take.
+func (c *Client) Obs() *Obs { return c.encl.Obs() }
 
 // CreateVolume initializes a new volume owned by owner on the client's
 // store, authenticates the owner, and returns the mounted volume plus

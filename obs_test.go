@@ -1,0 +1,317 @@
+package nexus
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"nexus/internal/afs"
+	"nexus/internal/backend"
+	"nexus/internal/obs"
+)
+
+// obsStack is a full client over a real AFS server with one shared
+// observability registry across every layer (vfs facade, enclave, SGX
+// transitions, AFS client), mirroring a production deployment.
+type obsStack struct {
+	reg    *Obs
+	client *Client
+	vol    *Volume
+	afs    *afs.Client
+}
+
+func startObsStack(t *testing.T) *obsStack {
+	t.Helper()
+	srv := afs.NewServer(backend.NewMemStore())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	reg := NewObs()
+	afsClient, err := afs.Dial(l.Addr().String(), afs.ClientConfig{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = afsClient.Close() })
+
+	ias, err := NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{
+		Store: afsClient,
+		IAS:   ias,
+		Obs:   reg,
+		// Small chunks so a small file spans an exact, assertable number
+		// of crypto chunks: 4096 bytes / 1024 = 4.
+		ChunkSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Obs() != reg {
+		t.Fatal("Client.Obs() did not return the configured registry")
+	}
+	owner, err := NewIdentity("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, _, err := client.CreateVolume(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &obsStack{reg: reg, client: client, vol: vol, afs: afsClient}
+}
+
+// counterDelta reads a set of counters before fn and returns how much
+// each moved across it.
+func counterDelta(reg *Obs, names []string, fn func()) map[string]int64 {
+	before := make(map[string]int64, len(names))
+	for _, n := range names {
+		before[n] = reg.CounterValue(n)
+	}
+	fn()
+	delta := make(map[string]int64, len(names))
+	for _, n := range names {
+		delta[n] = reg.CounterValue(n) - before[n]
+	}
+	return delta
+}
+
+// findSpan walks a span forest depth-first for the first span whose name
+// matches exactly.
+func findSpan(spans []*Span, name string) *Span {
+	for _, s := range spans {
+		if s.Name == name {
+			return s
+		}
+		if found := findSpan(s.Children, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func hasDescendantPrefix(s *Span, prefix string) bool {
+	for _, c := range s.Children {
+		if strings.HasPrefix(c.Name, prefix) || hasDescendantPrefix(c, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func tagValue(s *Span, key string) (string, bool) {
+	for _, tg := range s.Tags {
+		if tg.Key == key {
+			return tg.Value, true
+		}
+	}
+	return "", false
+}
+
+// TestObservabilityEndToEnd drives write → read → revoke through a full
+// client stack and asserts both the span-tree shape (vfs parents the
+// enclave transition spans, which parent the AFS RPC spans) and the
+// exact metric deltas each phase must produce.
+func TestObservabilityEndToEnd(t *testing.T) {
+	st := startObsStack(t)
+	fs := st.vol.FS()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Touch("/docs/f.bin"); err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := st.reg.Tracer()
+	tracer.Enable()
+	defer tracer.Disable()
+
+	data := bytes.Repeat([]byte{0xA5}, 4096) // exactly 4 chunks of 1024
+
+	// --- Write ---
+	tracer.Take() // discard setup spans
+	wDelta := counterDelta(st.reg, []string{
+		"vfs_write_total",
+		"enclave_chunk_crypto_chunks_total",
+	}, func() {
+		if err := fs.WriteFile("/docs/f.bin", data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if wDelta["vfs_write_total"] != 1 {
+		t.Errorf("write: vfs_write_total moved %d, want 1", wDelta["vfs_write_total"])
+	}
+	// 4096 bytes at ChunkSize 1024: exactly 4 chunks encrypted, none
+	// decrypted.
+	if wDelta["enclave_chunk_crypto_chunks_total"] != 4 {
+		t.Errorf("write: chunk crypto chunks moved %d, want 4", wDelta["enclave_chunk_crypto_chunks_total"])
+	}
+
+	wSpans := tracer.Take()
+	wRoot := findSpan(wSpans, "vfs.write")
+	if wRoot == nil {
+		t.Fatalf("no vfs.write root span; roots: %v", spanNames(wSpans))
+	}
+	ecall := findSpan(wRoot.Children, "sgx.ecall")
+	if ecall == nil {
+		t.Fatal("vfs.write has no sgx.ecall child")
+	}
+	if findSpan(wSpans, "enclave.chunkcrypto") == nil {
+		t.Error("write produced no enclave.chunkcrypto span")
+	} else if chunks, ok := tagValue(findSpan(wSpans, "enclave.chunkcrypto"), "chunks"); !ok || chunks != "4" {
+		t.Errorf("chunkcrypto span chunks tag = %q, want \"4\"", chunks)
+	}
+	// The write must reach the server: some enclave transition span must
+	// have an AFS RPC span beneath it (vfs → enclave → afs chain).
+	foundRPC := false
+	for _, root := range wSpans {
+		if root.Name == "vfs.write" && hasDescendantPrefix(root, "afs.") {
+			foundRPC = true
+		}
+	}
+	if !foundRPC {
+		t.Error("no afs.* span under the vfs.write root")
+	}
+	// Per-stage durations: parent spans must cover their children.
+	if wRoot.Dur <= 0 || ecall.Dur <= 0 || wRoot.Dur < ecall.Dur {
+		t.Errorf("span durations inconsistent: vfs.write=%v sgx.ecall=%v", wRoot.Dur, ecall.Dur)
+	}
+
+	// --- Read (cold: caches dropped so data must come off the server) ---
+	st.client.Enclave().DropCaches()
+	st.afs.FlushCache()
+	tracer.Take()
+	rDelta := counterDelta(st.reg, []string{
+		"vfs_read_total",
+		"enclave_chunk_crypto_chunks_total",
+		"enclave_metadata_loads_total",
+	}, func() {
+		got, err := fs.ReadFile("/docs/f.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read returned different bytes")
+		}
+	})
+	if rDelta["vfs_read_total"] != 1 {
+		t.Errorf("read: vfs_read_total moved %d, want 1", rDelta["vfs_read_total"])
+	}
+	// The same 4 chunks come back through the decrypt path.
+	if rDelta["enclave_chunk_crypto_chunks_total"] != 4 {
+		t.Errorf("read: chunk crypto chunks moved %d, want 4", rDelta["enclave_chunk_crypto_chunks_total"])
+	}
+	// A fully cold read verifies every metadata object on the path: the
+	// root dirnode and the entry bucket holding "docs", the /docs
+	// dirnode and the bucket holding "f.bin", and the filenode — 5
+	// loads. A change here means the metadata I/O pattern changed;
+	// re-derive before updating.
+	if rDelta["enclave_metadata_loads_total"] != 5 {
+		t.Errorf("read: metadata loads moved %d, want 5", rDelta["enclave_metadata_loads_total"])
+	}
+	rSpans := tracer.Take()
+	rRoot := findSpan(rSpans, "vfs.read")
+	if rRoot == nil {
+		t.Fatalf("no vfs.read root span; roots: %v", spanNames(rSpans))
+	}
+	if findSpan(rRoot.Children, "sgx.ecall") == nil {
+		t.Error("vfs.read has no sgx.ecall child")
+	}
+	if !hasDescendantPrefix(rRoot, "afs.") {
+		t.Error("cold read produced no afs.* span under vfs.read")
+	}
+
+	// --- Revoke (ACL update through the facade) ---
+	bob, err := NewIdentity("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.vol.AddUser("bob", bob.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetACL("/docs", "bob", ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	tracer.Take()
+	vDelta := counterDelta(st.reg, []string{
+		"vfs_setacl_total",
+		"enclave_metadata_flushes_total",
+	}, func() {
+		if err := fs.SetACL("/docs", "bob", NoRights); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if vDelta["vfs_setacl_total"] != 1 {
+		t.Errorf("revoke: vfs_setacl_total moved %d, want 1", vDelta["vfs_setacl_total"])
+	}
+	// Revocation is a single-dirnode metadata update (the paper's core
+	// claim): exactly one metadata flush, no file re-encryption.
+	if vDelta["enclave_metadata_flushes_total"] != 1 {
+		t.Errorf("revoke: metadata flushes moved %d, want 1", vDelta["enclave_metadata_flushes_total"])
+	}
+	vSpans := tracer.Take()
+	vRoot := findSpan(vSpans, "vfs.setacl")
+	if vRoot == nil {
+		t.Fatalf("no vfs.setacl root span; roots: %v", spanNames(vSpans))
+	}
+	if findSpan(vRoot.Children, "sgx.ecall") == nil {
+		t.Error("vfs.setacl has no sgx.ecall child")
+	}
+
+	// The shared registry serves every layer: one exposition must carry
+	// vfs, enclave, sgx, and afs metric families together.
+	var sb strings.Builder
+	obs.WritePrometheus(&sb, st.reg)
+	for _, family := range []string{"vfs_write_total", "enclave_chunk_crypto_chunks_total", "sgx_ecalls_total", "afs_rpcs_total"} {
+		if !strings.Contains(sb.String(), family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+}
+
+func spanNames(spans []*Span) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// TestObservabilityLegacyStatsShims proves the pre-registry accessors
+// still work against the shared registry, so code written against the
+// old Stats structs keeps reading true numbers.
+func TestObservabilityLegacyStatsShims(t *testing.T) {
+	st := startObsStack(t)
+	fs := st.vol.FS()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	encl := st.client.Enclave()
+	stats := encl.Stats()
+	if stats.MetadataFlushes == 0 {
+		t.Error("legacy enclave Stats().MetadataFlushes = 0 after a write")
+	}
+	if encl.SGX().EcallCount() == 0 {
+		t.Error("legacy SGX EcallCount() = 0 after a write")
+	}
+	if n, _ := st.afs.Stats(); n == 0 {
+		t.Error("legacy afs Stats() rpcs = 0 after a write")
+	}
+	// The shims and the registry must agree: they are one source.
+	if got := st.reg.CounterValue("sgx_ecalls_total"); got != encl.SGX().EcallCount() {
+		t.Errorf("sgx_ecalls_total %d != EcallCount() %d", got, encl.SGX().EcallCount())
+	}
+	encl.ResetStats()
+	if encl.SGX().EcallCount() != 0 || st.reg.CounterValue("sgx_ecalls_total") != 0 {
+		t.Error("ResetStats did not clear the registry-backed counters")
+	}
+}
