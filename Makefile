@@ -32,14 +32,17 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/afs/
 	$(GO) test -run=^$$ -fuzz=FuzzRetrySchedule -fuzztime=$(FUZZTIME) ./internal/afs/
 
-# chaos runs the seeded fault-injection suite (internal/afs/chaos_test.go
-# plus the disconnect property tests) under the race detector, once per
-# seed in CHAOS_SEEDS. Each seed is an exact replay: the fault schedule
-# is a pure function of the seed. See DESIGN.md §9.
+# chaos runs the seeded fault-injection suites under the race detector,
+# once per seed in CHAOS_SEEDS: the AFS transport suite
+# (internal/afs/chaos_test.go plus the disconnect property tests) and
+# the enclave write-back crash-consistency suite
+# (internal/enclave/writeback_test.go, write-back enabled). Each seed is
+# an exact replay: the fault schedule is a pure function of the seed.
+# See DESIGN.md §9 and §12.5.
 chaos:
 	@for seed in $(CHAOS_SEEDS); do \
 		echo "== chaos seed $$seed =="; \
-		NEXUS_CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestProperty' -count=1 ./internal/afs/ || exit 1; \
+		NEXUS_CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestProperty' -count=1 ./internal/afs/ ./internal/enclave/ || exit 1; \
 	done
 
 # obs mirrors the CI observability job: the registry/tracer suite and

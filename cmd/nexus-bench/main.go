@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto]
+//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto|metadata]
 //	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
 //	            [-entries N] [-transition duration] [-no-cache]
 //	            [-workers N] [-json] [-out FILE] [-crypto-workers LIST]
@@ -38,7 +38,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto|ablation")
+	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto|metadata|ablation")
 	scale := flag.Int64("scale", 64, "divide workload file sizes by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "repetitions averaged per measurement")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated network round-trip time")
@@ -176,6 +176,17 @@ func run() error {
 		bench.PrintChunkCrypto(os.Stdout, rows)
 		if report != nil {
 			report.Experiments["crypto"] = bench.ChunkCryptoMetrics(rows)
+		}
+	}
+	if want("metadata") {
+		const files = 128
+		rows, err := bench.Metadata(cfg, files)
+		if err != nil {
+			return fmt.Errorf("metadata: %w", err)
+		}
+		bench.PrintMetadata(os.Stdout, rows)
+		if report != nil {
+			report.Experiments["metadata"] = bench.MetadataMetrics(rows)
 		}
 	}
 	if *exp == "ablation" {

@@ -338,6 +338,9 @@ func (c *cli) newClient() (*nexus.Client, error) {
 		Store:        c.store,
 		PlatformSeed: seed,
 		Obs:          c.obs,
+		// One command per process: batching buys nothing and deferred
+		// metadata would be lost at exit, so flush eagerly.
+		WritebackMode: "off",
 	})
 }
 

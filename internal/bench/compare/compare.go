@@ -33,6 +33,11 @@ type Delta struct {
 	// Regressed.
 	P95Ratio float64
 	P99Ratio float64
+	// FlushRatio compares metadata flushes per operation when both
+	// reports carry the figure; zero otherwise. Informational only —
+	// flush counts move by design when batching policy changes — so it
+	// never sets Regressed.
+	FlushRatio float64
 }
 
 // Diff compares current against baseline metric by metric. tolerance is
@@ -70,6 +75,9 @@ func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, er
 				if base.P99Ns > 0 && cur.P99Ns > 0 {
 					d.P99Ratio = cur.P99Ns / base.P99Ns
 				}
+				if base.FlushesPerOp > 0 && cur.FlushesPerOp > 0 {
+					d.FlushRatio = cur.FlushesPerOp / base.FlushesPerOp
+				}
 			}
 			if d.Regressed {
 				regressed = true
@@ -105,6 +113,9 @@ func Format(w io.Writer, deltas []Delta, tolerance float64) {
 		}
 		if d.P99Ratio > 0 {
 			tails += fmt.Sprintf("  p99 %.2fx", d.P99Ratio)
+		}
+		if d.FlushRatio > 0 {
+			tails += fmt.Sprintf("  flushes/op %.2fx", d.FlushRatio)
 		}
 		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, tails, flag)
 	}

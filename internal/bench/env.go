@@ -44,6 +44,10 @@ type Config struct {
 	DisableMetadataCache bool
 	// FreshnessTree enables the volume-wide version table (§VI-C).
 	FreshnessTree bool
+	// Writeback selects the enclave's metadata flushing mode: "" or
+	// "on" batches dirty metadata at barriers (the client default);
+	// "off" flushes eagerly after every operation.
+	Writeback string
 	// Runs is the number of repetitions averaged per measurement
 	// (paper: 10 for microbenchmarks, 25 for applications).
 	Runs int
@@ -133,6 +137,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		TransitionCost:       cfg.TransitionCost,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
+		WritebackMode:        cfg.Writeback,
 		Obs:                  env.Obs,
 	})
 	if err != nil {

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nexus"
+)
+
+// MetadataRow measures one write-back mode on the metadata-heavy
+// workload: open n files with O_CREATE, write a small payload through
+// each handle, then close them all. Every operation mutates metadata
+// but moves almost no data, so the flush count dominates.
+type MetadataRow struct {
+	Mode    string // "writeback" or "eager"
+	Files   int
+	Elapsed time.Duration
+	// Flushes is the number of metadata objects sealed and uploaded
+	// during the workload; FlushesPerOp divides by the file count.
+	Flushes      int64
+	FlushesPerOp float64
+}
+
+// Metadata quantifies the write-back metadata layer. Each mode runs on
+// its own freshly built testbed so caches, flush counters, and the
+// store start identical; the workload and seed directory are the same.
+func Metadata(base Config, files int) ([]MetadataRow, error) {
+	if files <= 0 {
+		files = 128
+	}
+	modes := []struct{ name, knob string }{
+		{"writeback", "on"},
+		{"eager", "off"},
+	}
+	rows := make([]MetadataRow, 0, len(modes))
+	for _, m := range modes {
+		cfg := base
+		cfg.Writeback = m.knob
+		env, err := NewEnv(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("metadata %q: %w", m.name, err)
+		}
+		row, err := runMetadataChurn(env, files, m.name)
+		env.Close()
+		if err != nil {
+			return nil, fmt.Errorf("metadata %q: %w", m.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runMetadataChurn times the NEXUS-side open/write/close sweep and
+// reads the enclave's flush counter across it.
+func runMetadataChurn(env *Env, files int, mode string) (MetadataRow, error) {
+	fs := env.NexusVolume.FS()
+	if err := fs.MkdirAll("/metadata"); err != nil {
+		return MetadataRow{}, err
+	}
+	if err := fs.Sync(); err != nil {
+		return MetadataRow{}, err
+	}
+	env.FlushCaches()
+	payload := []byte("nexus metadata bench payload, 256B payload target....")
+	encl := env.NexusClient.Enclave()
+	before := encl.Stats().MetadataFlushes
+	start := time.Now()
+	handles := make([]*nexus.File, 0, files)
+	for i := 0; i < files; i++ {
+		f, err := fs.Open(fmt.Sprintf("/metadata/f%06d", i), nexus.O_RDWR|nexus.O_CREATE)
+		if err != nil {
+			return MetadataRow{}, err
+		}
+		handles = append(handles, f)
+	}
+	for _, f := range handles {
+		if _, err := f.Write(payload); err != nil {
+			return MetadataRow{}, err
+		}
+	}
+	for _, f := range handles {
+		if err := f.Close(); err != nil {
+			return MetadataRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	flushes := encl.Stats().MetadataFlushes - before
+	return MetadataRow{
+		Mode:         mode,
+		Files:        files,
+		Elapsed:      elapsed,
+		Flushes:      flushes,
+		FlushesPerOp: float64(flushes) / float64(files),
+	}, nil
+}
+
+// PrintMetadata renders the write-back comparison table.
+func PrintMetadata(w io.Writer, rows []MetadataRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Metadata flushing — create+write+close of %d files (NEXUS side only)\n", rows[0].Files)
+	fmt.Fprintf(w, "%-12s %12s %10s %12s\n", "mode", "latency", "flushes", "flushes/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12s %10d %11.2f\n", r.Mode, fmtDur(r.Elapsed), r.Flushes, r.FlushesPerOp)
+	}
+	fmt.Fprintln(w)
+}
+
+// MetadataMetrics converts the rows into report metrics keyed by mode.
+func MetadataMetrics(rows []MetadataRow) Experiment {
+	exp := make(Experiment)
+	for _, r := range rows {
+		exp[r.Mode] = Metric{
+			NsPerOp:      float64(r.Elapsed.Nanoseconds()) / float64(r.Files),
+			FlushesPerOp: r.FlushesPerOp,
+		}
+	}
+	return exp
+}

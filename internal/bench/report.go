@@ -26,6 +26,11 @@ type Metric struct {
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P95Ns       float64 `json:"p95_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
+	// FlushesPerOp is metadata objects written per logical operation
+	// (the metadata experiment's write-back efficiency figure). It is
+	// informational: the compare gate reports movement but never fails
+	// on it, since flush counts shift by design when batching changes.
+	FlushesPerOp float64 `json:"flushes_per_op,omitempty"`
 }
 
 // LatencyMetric converts a histogram snapshot into a Metric: the mean

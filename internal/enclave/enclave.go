@@ -110,6 +110,21 @@ type Config struct {
 	// hierarchy rollback detection at the cost of an extra metadata
 	// object read/write per operation. See internal/enclave/freshness.go.
 	FreshnessTree bool
+	// Writeback selects the metadata flush policy. The zero value and
+	// WritebackOff seal and upload metadata eagerly on every mutation
+	// (the historical behaviour, and what direct Config consumers such
+	// as the internal tests rely on). WritebackOn defers flushes into a
+	// dirty set drained in dependency order at explicit barriers
+	// (SyncMetadata, ACL/user/sharing changes, DropCaches) and at the
+	// WritebackMaxOps/WritebackMaxBytes high-water marks. See
+	// internal/enclave/writeback.go and DESIGN.md §12.
+	Writeback WritebackMode
+	// WritebackMaxOps caps the number of deferred mutations before the
+	// dirty set drains inline (default 64; write-back mode only).
+	WritebackMaxOps int
+	// WritebackMaxBytes caps the estimated batched metadata bytes before
+	// the dirty set drains inline (default 4 MiB; write-back mode only).
+	WritebackMaxBytes int64
 	// Obs is the observability registry the enclave (and its SGX
 	// container) meters into. Optional; a private registry is created
 	// when nil. Share one registry across the stack (vfs → enclave →
@@ -173,6 +188,13 @@ type Enclave struct {
 	cache     *metaCache
 	freshness map[uuid.UUID]uint64
 
+	// wb is the write-back dirty set (nil in eager mode); freshSink,
+	// when non-nil, absorbs freshness-table updates during a batch drain
+	// so the table is rewritten once per batch instead of once per
+	// object. Both are guarded by mu.
+	wb        *dirtySet
+	freshSink map[uuid.UUID]uint64
+
 	metrics enclaveMetrics
 }
 
@@ -190,7 +212,10 @@ type enclaveMetrics struct {
 	dataBytes         *obs.Counter // enclave_data_bytes_written_total
 	chunks            *obs.Counter // enclave_chunk_crypto_chunks_total
 	chunkLat          *obs.Histogram
-	workers           *obs.Gauge // enclave_crypto_workers
+	workers           *obs.Gauge   // enclave_crypto_workers
+	metadataDirty     *obs.Counter // enclave_metadata_dirty_total
+	flushBatches      *obs.Counter // enclave_flush_batches_total
+	dirtyGauge        *obs.Gauge   // enclave_metadata_dirty
 
 	// metaIO and dataIO meter the two ocall classes of the Table 5a/5b
 	// breakdowns (metadata fetch/store/lock vs encrypted file content).
@@ -218,6 +243,9 @@ func (m *enclaveMetrics) bind(reg *obs.Registry) {
 	m.chunks = reg.Counter("enclave_chunk_crypto_chunks_total")
 	m.chunkLat = reg.Histogram("enclave_chunk_crypto_seconds")
 	m.workers = reg.Gauge("enclave_crypto_workers")
+	m.metadataDirty = reg.Counter("enclave_metadata_dirty_total")
+	m.flushBatches = reg.Counter("enclave_flush_batches_total")
+	m.dirtyGauge = reg.Gauge("enclave_metadata_dirty")
 	m.metaIO = ocallMeter{ns: reg.Counter("enclave_metadata_io_ns_total"), lat: reg.Histogram("enclave_metadata_io_seconds")}
 	m.dataIO = ocallMeter{ns: reg.Counter("enclave_data_io_ns_total"), lat: reg.Histogram("enclave_data_io_seconds")}
 	m.tracer = reg.Tracer()
@@ -240,12 +268,21 @@ func New(cfg Config) (*Enclave, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
+	switch cfg.Writeback {
+	case WritebackEager, WritebackOff, WritebackOn:
+	default:
+		return nil, fmt.Errorf("enclave: unknown Writeback mode %q", cfg.Writeback)
+	}
 	e := &Enclave{
 		sgx:       cfg.SGX,
 		store:     cfg.Store,
 		ias:       cfg.IAS,
 		cfg:       cfg,
 		freshness: make(map[uuid.UUID]uint64),
+	}
+	if cfg.Writeback == WritebackOn {
+		//lint:ignore lock-discipline construction: the enclave is not yet shared
+		e.wb = newDirtySet(cfg.WritebackMaxOps, cfg.WritebackMaxBytes)
 	}
 	e.metrics.bind(cfg.Obs)
 	// The SGX container meters its transitions into the same registry,
@@ -296,6 +333,8 @@ func (e *Enclave) ResetStats() {
 	m.metaIO.lat.Reset()
 	m.dataIO.ns.Reset()
 	m.dataIO.lat.Reset()
+	m.metadataDirty.Reset()
+	m.flushBatches.Reset()
 	e.sgx.ResetStats()
 }
 
@@ -309,7 +348,11 @@ func (e *Enclave) Obs() *obs.Registry { return e.metrics.reg }
 // DropCaches discards the in-enclave decrypted metadata cache, forcing
 // subsequent operations to re-fetch and re-verify (the benchmark's
 // cold-cache runs; the paper flushes the AFS cache before each run).
+// In write-back mode it first drains pending metadata, since a dirty
+// node evicted from memory without an on-store copy would be lost.
 func (e *Enclave) DropCaches() {
+	//lint:ignore unchecked-crypto-error best-effort pre-drain; an unreachable store must not block a cache drop
+	_ = e.SyncMetadata()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache.clear()
@@ -487,6 +530,9 @@ func (e *Enclave) AddUser(name string, key ed25519.PublicKey) (userID uint32, er
 		if !e.isOwnerLocked() {
 			return fmt.Errorf("%w: only the owner administers users", ErrAccessDenied)
 		}
+		if err := e.drainWithRetryLocked(); err != nil {
+			return err
+		}
 		return e.withSupernodeLockLocked(func() error {
 			var err error
 			userID, err = e.super.AddUser(name, key)
@@ -514,6 +560,9 @@ func (e *Enclave) RemoveUser(name string) error {
 		}
 		if !e.isOwnerLocked() {
 			return fmt.Errorf("%w: only the owner administers users", ErrAccessDenied)
+		}
+		if err := e.drainWithRetryLocked(); err != nil {
+			return err
 		}
 		return e.withSupernodeLockLocked(func() error {
 			if _, err := e.super.RemoveUser(name); err != nil {

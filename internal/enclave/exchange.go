@@ -252,6 +252,11 @@ func (e *Enclave) GrantAccess(offerBytes []byte, userName string, userKey ed2551
 		if !e.isOwnerLocked() {
 			return fmt.Errorf("%w: only the owner may grant volume access", ErrAccessDenied)
 		}
+		// Sharing hands another enclave a view of the volume: make that
+		// view complete by draining pending write-back metadata first.
+		if err := e.drainWithRetryLocked(); err != nil {
+			return err
+		}
 		offer, err := DecodeOffer(offerBytes)
 		if err != nil {
 			return err

@@ -115,6 +115,16 @@ func (e *Enclave) recordFreshnessLocked(updates map[uuid.UUID]uint64) error {
 	if !e.cfg.FreshnessTree {
 		return nil
 	}
+	// During a write-back batch drain the per-object updates collect in
+	// freshSink and the table is rewritten once at the end of the batch
+	// (drainLocked); a stale-low table entry is safe in the interim —
+	// checkFreshnessLocked only rejects versions *below* the table.
+	if e.freshSink != nil {
+		for id, v := range updates {
+			e.freshSink[id] = v
+		}
+		return nil
+	}
 	release, err := e.lockObject(FreshnessObjectName)
 	if err != nil {
 		return fmt.Errorf("locking freshness table: %w", err)

@@ -145,6 +145,10 @@ func (e *Enclave) createEntry(path string, kind metadata.EntryKind, symlinkTarge
 			return err
 		}
 
+		if e.wb != nil {
+			return e.createEntryWritebackLocked(w, path, name, kind, symlinkTarget)
+		}
+
 		release, err := e.lockObject(objName(w.dir.UUID))
 		if err != nil {
 			return fmt.Errorf("locking directory: %w", err)
@@ -234,6 +238,10 @@ func (e *Enclave) Remove(path string) error {
 		}
 		if err := e.checkACLLocked(w.dir, acl.Delete); err != nil {
 			return err
+		}
+
+		if e.wb != nil {
+			return e.removeWritebackLocked(w, path, name)
 		}
 
 		release, err := e.lockObject(objName(w.dir.UUID))
@@ -450,6 +458,12 @@ func (e *Enclave) Hardlink(existingPath, newPath string) error {
 		if err := e.requireAuthLocked(); err != nil {
 			return err
 		}
+		// Hardlink spans two directories and mutates a shared link
+		// count; it runs eagerly on a drained set so its lock-ordered
+		// protocol sees no deferred state.
+		if err := e.drainWithRetryLocked(); err != nil {
+			return err
+		}
 		srcDirs, srcName, err := splitPath(existingPath)
 		if err != nil {
 			return err
@@ -541,6 +555,12 @@ func (e *Enclave) Rename(oldPath, newPath string) error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		// Rename spans two directories (with replace semantics); it runs
+		// eagerly on a drained set so its lock-ordered protocol sees no
+		// deferred state.
+		if err := e.drainWithRetryLocked(); err != nil {
 			return err
 		}
 		srcDirs, srcName, err := splitPath(oldPath)
@@ -783,6 +803,30 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 			return fmt.Errorf("%w: %s", ErrNotFile, path)
 		}
 
+		// A write to a still-pending created file updates the in-memory
+		// filenode (fresh keys, new size) and uploads only the data
+		// object; the filenode rides out with the next batch drain. No
+		// store lock: the object does not exist on the store yet, so no
+		// other client can race on it. Writes to on-store files stay
+		// fully eager — their filenode seals carry freshly rotated keys
+		// that must not sit deferred in enclave memory.
+		if e.wb != nil {
+			if n, ok := e.wb.nodes[entry.UUID]; ok && n.file != nil {
+				f := n.file
+				blob, err := e.timedChunkCrypto(len(data), func() ([]byte, error) {
+					return f.EncryptContentWorkers(data, e.cfg.CryptoWorkers)
+				})
+				if err != nil {
+					return err
+				}
+				if _, err := e.putDataObject(objName(f.DataUUID), blob); err != nil {
+					return fmt.Errorf("uploading data object: %w", err)
+				}
+				e.metrics.dataBytes.Add(int64(len(blob)))
+				return e.maybeDrainLocked()
+			}
+		}
+
 		release, err := e.lockObject(objName(entry.UUID))
 		if err != nil {
 			return fmt.Errorf("locking filenode: %w", err)
@@ -878,6 +922,11 @@ func (e *Enclave) SetACL(dirPath, userName string, rights acl.Rights) error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if err := e.requireAuthLocked(); err != nil {
+			return err
+		}
+		// Revocation must not leave any pre-revocation metadata pending:
+		// drain first, then re-seal the directory eagerly (§VII-E).
+		if err := e.drainWithRetryLocked(); err != nil {
 			return err
 		}
 		dirs, base, err := splitPath(dirPath)

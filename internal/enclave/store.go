@@ -23,26 +23,31 @@ type metaCache struct {
 
 type cacheEntry struct {
 	version uint64 // store version the decode came from
-	obj     any    // *metadata.Dirnode or *metadata.Filenode
-	charged int64  // EPC bytes charged
+	// objVersion is the sealed preamble version of the cached object.
+	// Cache hits must report it — not the freshness-map entry, which can
+	// be absent (pruned, or lost across a remount) and would make the
+	// next flush restart at version 1 and trip ErrStaleMetadata.
+	objVersion uint64
+	obj        any   // *metadata.Dirnode or *metadata.Filenode
+	charged    int64 // EPC bytes charged
 }
 
 func newMetaCache(container *sgx.Enclave) *metaCache {
 	return &metaCache{sgx: container, entries: make(map[uuid.UUID]*cacheEntry)}
 }
 
-func (c *metaCache) get(id uuid.UUID, version uint64) (any, bool) {
+func (c *metaCache) get(id uuid.UUID, version uint64) (any, uint64, bool) {
 	if c == nil {
-		return nil, false
+		return nil, 0, false
 	}
 	entry, ok := c.entries[id]
 	if !ok || entry.version != version {
-		return nil, false
+		return nil, 0, false
 	}
-	return entry.obj, true
+	return entry.obj, entry.objVersion, true
 }
 
-func (c *metaCache) put(id uuid.UUID, version uint64, obj any, approxSize int64) {
+func (c *metaCache) put(id uuid.UUID, version, objVersion uint64, obj any, approxSize int64) {
 	if c == nil {
 		return
 	}
@@ -57,7 +62,7 @@ func (c *metaCache) put(id uuid.UUID, version uint64, obj any, approxSize int64)
 			return // object stays uncached
 		}
 	}
-	c.entries[id] = &cacheEntry{version: version, obj: obj, charged: approxSize}
+	c.entries[id] = &cacheEntry{version: version, objVersion: objVersion, obj: obj, charged: approxSize}
 }
 
 func (c *metaCache) invalidate(id uuid.UUID) {
@@ -192,6 +197,17 @@ func (e *Enclave) openVerified(id uuid.UUID, wantType metadata.ObjType, wantPare
 // loadDirnode returns the directory at id, from the decrypted cache when
 // the store version is unchanged.
 func (e *Enclave) loadDirnode(id, parent uuid.UUID) (*metadata.Dirnode, uint64, error) {
+	// A write-back dirty copy shadows both the cache and the store: it
+	// carries mutations the store has not seen yet. The returned version
+	// is the store version the copy derives from, so an eventual flush
+	// at version+1 lines up with the on-store preamble.
+	if d, base, ok := e.dirtyDirnodeLocked(id); ok {
+		if d.Parent != parent {
+			return nil, 0, fmt.Errorf("%w: dirnode %s has parent %s, want %s (file-swap defence)",
+				metadata.ErrTampered, id, d.Parent, parent)
+		}
+		return d, base, nil
+	}
 	if e.cache != nil {
 		// Fetch is served by the AFS client cache (no network) when the
 		// callback promise is intact; its version validates the decrypted
@@ -200,10 +216,10 @@ func (e *Enclave) loadDirnode(id, parent uuid.UUID) (*metadata.Dirnode, uint64, 
 		if err != nil {
 			return nil, 0, fmt.Errorf("fetching dirnode %s: %w", id, err)
 		}
-		if obj, ok := e.cache.get(id, storeVersion); ok {
+		if obj, objVersion, ok := e.cache.get(id, storeVersion); ok {
 			if d, ok := obj.(*metadata.Dirnode); ok && d.Parent == parent {
 				e.metrics.metadataCacheHits.Inc()
-				return d, e.freshness[id], nil
+				return d, objVersion, nil
 			}
 		}
 		p, body, err := e.openBlobVerified(id, blob, metadata.TypeDirnode, parent)
@@ -214,7 +230,7 @@ func (e *Enclave) loadDirnode(id, parent uuid.UUID) (*metadata.Dirnode, uint64, 
 		if err != nil {
 			return nil, 0, err
 		}
-		e.cache.put(id, storeVersion, d, int64(len(body))+256)
+		e.cache.put(id, storeVersion, p.Version, d, int64(len(body))+256)
 		return d, p.Version, nil
 	}
 
@@ -299,70 +315,117 @@ func (e *Enclave) bucketLoaderFor(d *metadata.Dirnode) func(i int) (*metadata.Bu
 // deleted on the *next* flush. Unlocked readers therefore always find a
 // consistent (main, buckets) snapshot — either entirely old or entirely
 // new — with no torn window between the two writes.
+// The flush is transactional with respect to the in-memory dirnode:
+// every mutation — the Retired truncation, bucket-UUID reassignment,
+// Refs/MAC updates, Dirty/OnStore flips, freshness bumps — is staged in
+// locals and applied only after every upload has succeeded. A fault at
+// any ocall leaves the in-memory state exactly as it was, so retrying
+// the flush (same version) converges memory and store. The only residue
+// of a failed attempt is an uploaded-but-unreferenced bucket object
+// under a UUID nothing points to, which is invisible to readers.
 func (e *Enclave) flushDirnodeLocked(d *metadata.Dirnode, version uint64) error {
-	freshUpdates := map[uuid.UUID]uint64{d.UUID: version}
-
-	// Delete buckets retired by the previous flush: any reader still
-	// using them would be two main-object generations behind.
+	// Phase 1: delete buckets retired by the previous flush — any reader
+	// still using them would be two main-object generations behind.
+	// Deletion is idempotent (missing objects are tolerated), so a
+	// failure later in this flush can safely re-run it; the in-memory
+	// Retired list is only truncated at commit.
 	for _, old := range d.Retired {
 		if err := e.deleteObject(objName(old)); err != nil && !isNotExist(err) {
 			return fmt.Errorf("deleting retired bucket %s: %w", old, err)
 		}
-		freshUpdates[old] = 0
-		delete(e.freshness, old)
 	}
-	d.Retired = d.Retired[:0]
 
+	// Phase 2: stage every upload. Copy-on-write buckets that already
+	// exist on the store get a fresh UUID; the staged Refs/Retired tables
+	// describe the post-flush state without touching the dirnode yet.
+	type bucketPlan struct {
+		idx     int
+		newUUID uuid.UUID
+		retire  bool
+		blob    []byte
+		tag     [16]byte
+	}
+	var plans []bucketPlan
+	stagedRefs := make([]metadata.BucketRef, len(d.Refs))
+	copy(stagedRefs, d.Refs)
+	var stagedRetired []uuid.UUID
 	for _, i := range d.DirtyBuckets() {
 		b := d.Buckets[i]
+		pl := bucketPlan{idx: i, newUUID: b.UUID}
 		if b.OnStore {
-			d.Retired = append(d.Retired, b.UUID)
-			b.UUID = uuid.New()
-			d.Refs[i].UUID = b.UUID
+			pl.retire = true
+			pl.newUUID = uuid.New()
+			stagedRetired = append(stagedRetired, b.UUID)
 		}
 		blob, err := metadata.Seal(e.rootKey, metadata.Preamble{
 			Type:    metadata.TypeDirBucket,
-			UUID:    b.UUID,
+			UUID:    pl.newUUID,
 			Parent:  d.UUID,
 			Version: version,
 		}, b.EncodeBody())
 		if err != nil {
-			return fmt.Errorf("sealing bucket %s: %w", b.UUID, err)
+			return fmt.Errorf("sealing bucket %s: %w", pl.newUUID, err)
 		}
 		tag, err := metadata.Tag(blob)
 		if err != nil {
 			return err
 		}
-		if _, err := e.putObject(objName(b.UUID), blob); err != nil {
-			return fmt.Errorf("uploading bucket %s: %w", b.UUID, err)
-		}
-		d.Refs[i].MAC = tag
-		b.Dirty = false
-		b.OnStore = true
-		e.freshness[b.UUID] = version
-		freshUpdates[b.UUID] = version
-		e.metrics.metadataFlushes.Inc()
-		e.metrics.metadataBytes.Add(int64(len(blob)))
+		pl.blob, pl.tag = blob, tag
+		stagedRefs[i] = metadata.BucketRef{UUID: pl.newUUID, Count: d.Refs[i].Count, MAC: tag}
+		plans = append(plans, pl)
 	}
 
-	blob, err := metadata.Seal(e.rootKey, metadata.Preamble{
+	// The main object is sealed from the staged tables: swap them in for
+	// the encode only (EncodeBody is a pure read).
+	savedRefs, savedRetired := d.Refs, d.Retired
+	d.Refs, d.Retired = stagedRefs, stagedRetired
+	body := d.EncodeBody()
+	d.Refs, d.Retired = savedRefs, savedRetired
+	mainBlob, err := metadata.Seal(e.rootKey, metadata.Preamble{
 		Type:    metadata.TypeDirnode,
 		UUID:    d.UUID,
 		Parent:  d.Parent,
 		Version: version,
-	}, d.EncodeBody())
+	}, body)
 	if err != nil {
 		return fmt.Errorf("sealing dirnode %s: %w", d.UUID, err)
 	}
-	storeVersion, err := e.putObject(objName(d.UUID), blob)
+
+	// Phase 3: upload buckets first, the main object last, so readers
+	// always find a consistent (main, buckets) snapshot — either entirely
+	// old or entirely new — with no torn window between the writes.
+	for _, pl := range plans {
+		if _, err := e.putObject(objName(pl.newUUID), pl.blob); err != nil {
+			return fmt.Errorf("uploading bucket %s: %w", pl.newUUID, err)
+		}
+	}
+	storeVersion, err := e.putObject(objName(d.UUID), mainBlob)
 	if err != nil {
 		return fmt.Errorf("uploading dirnode %s: %w", d.UUID, err)
 	}
+
+	// Phase 4: commit. Every upload succeeded; apply the staged state.
+	freshUpdates := map[uuid.UUID]uint64{d.UUID: version}
+	for _, old := range savedRetired {
+		freshUpdates[old] = 0
+		delete(e.freshness, old)
+	}
+	for _, pl := range plans {
+		b := d.Buckets[pl.idx]
+		b.UUID = pl.newUUID
+		b.Dirty = false
+		b.OnStore = true
+		e.freshness[pl.newUUID] = version
+		freshUpdates[pl.newUUID] = version
+		e.metrics.metadataFlushes.Inc()
+		e.metrics.metadataBytes.Add(int64(len(pl.blob)))
+	}
+	d.Refs, d.Retired = stagedRefs, stagedRetired
 	e.freshness[d.UUID] = version
 	e.metrics.metadataFlushes.Inc()
-	e.metrics.metadataBytes.Add(int64(len(blob)))
+	e.metrics.metadataBytes.Add(int64(len(mainBlob)))
 	if e.cache != nil {
-		e.cache.put(d.UUID, storeVersion, d, int64(len(blob))+256)
+		e.cache.put(d.UUID, storeVersion, version, d, int64(len(body))+256)
 	}
 	return e.recordFreshnessLocked(freshUpdates)
 }
@@ -373,16 +436,25 @@ func (e *Enclave) flushDirnodeLocked(d *metadata.Dirnode, version uint64) error 
 // records the primary link's parent and the dirnode entry's UUID binding
 // provides the remaining structure integrity.
 func (e *Enclave) loadFilenode(id, parent uuid.UUID) (*metadata.Filenode, uint64, error) {
+	// Pending write-back creates shadow the store (the object may not
+	// exist there yet).
+	if f, base, ok := e.dirtyFilenodeLocked(id); ok {
+		if !f.Parent.IsNil() && f.Parent != parent {
+			return nil, 0, fmt.Errorf("%w: filenode %s has parent %s, want %s (file-swap defence)",
+				metadata.ErrTampered, id, f.Parent, parent)
+		}
+		return f, base, nil
+	}
 	blob, storeVersion, err := e.fetchObject(objName(id))
 	if err != nil {
 		return nil, 0, fmt.Errorf("fetching filenode %s: %w", id, err)
 	}
 	if e.cache != nil {
-		if obj, ok := e.cache.get(id, storeVersion); ok {
+		if obj, objVersion, ok := e.cache.get(id, storeVersion); ok {
 			if f, ok := obj.(*metadata.Filenode); ok {
 				if f.LinkCount > 1 || f.Parent.IsNil() || f.Parent == parent {
 					e.metrics.metadataCacheHits.Inc()
-					return f, e.freshness[id], nil
+					return f, objVersion, nil
 				}
 			}
 		}
@@ -400,7 +472,7 @@ func (e *Enclave) loadFilenode(id, parent uuid.UUID) (*metadata.Filenode, uint64
 			metadata.ErrTampered, id, f.Parent, parent)
 	}
 	if e.cache != nil {
-		e.cache.put(id, storeVersion, f, int64(len(body))+128)
+		e.cache.put(id, storeVersion, p.Version, f, int64(len(body))+128)
 	}
 	return f, p.Version, nil
 }
@@ -424,7 +496,7 @@ func (e *Enclave) flushFilenodeLocked(f *metadata.Filenode, version uint64) erro
 	e.metrics.metadataFlushes.Inc()
 	e.metrics.metadataBytes.Add(int64(len(blob)))
 	if e.cache != nil {
-		e.cache.put(f.UUID, storeVersion, f, int64(len(blob))+128)
+		e.cache.put(f.UUID, storeVersion, version, f, int64(len(blob))+128)
 	}
 	return e.recordFreshnessLocked(map[uuid.UUID]uint64{f.UUID: version})
 }

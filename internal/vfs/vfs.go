@@ -172,10 +172,21 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 		if err := fs.e.Touch(p); err != nil && !errors.Is(err, enclave.ErrExists) {
 			return err
 		}
-		return fs.e.WriteFile(p, data)
+		err = fs.e.WriteFile(p, data)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	// The path-level one-shot write is a durability point: callers have
+	// no handle to Sync/Close later, so deferred metadata (the create
+	// itself, in write-back mode) drains before we report success.
+	return fs.e.SyncMetadata()
 }
+
+// Sync drains any write-back metadata pending in the enclave to the
+// store (a volume-wide metadata barrier; no-op in eager mode). File
+// data buffered in open handles is not touched — use File.Sync.
+func (fs *FS) Sync() error { return fs.e.SyncMetadata() }
 
 // ReadFile returns the file's contents.
 func (fs *FS) ReadFile(p string) ([]byte, error) {
@@ -521,14 +532,17 @@ func (f *File) Sync() error {
 }
 
 func (f *File) syncLocked() error {
-	if !f.dirty {
-		return nil
+	if f.dirty {
+		if err := f.fs.e.WriteFile(f.path, f.buf); err != nil {
+			return err
+		}
+		f.dirty = false
 	}
-	if err := f.fs.e.WriteFile(f.path, f.buf); err != nil {
-		return err
-	}
-	f.dirty = false
-	return nil
+	// Sync/Close are metadata barriers even when the buffer is clean:
+	// the create that backs this handle may still be deferred in the
+	// enclave's dirty set (write-back mode). The drain is idempotent and
+	// retryable, so Close's stay-open-on-unavailable contract holds.
+	return f.fs.e.SyncMetadata()
 }
 
 // Close flushes dirty contents and invalidates the handle. If the flush

@@ -206,6 +206,20 @@ type ClientConfig struct {
 	// authenticated table updated on every write. Stronger freshness at
 	// the cost of one extra object read/write per operation.
 	FreshnessTree bool
+	// WritebackMode selects the metadata flush policy: "on" (and the
+	// default, "") batches metadata flushes in an in-enclave dirty set
+	// drained at barriers — File.Sync/Close, FS.Sync, FS.WriteFile,
+	// ACL/user/sharing changes, and the high-water marks below; "off"
+	// seals and uploads metadata eagerly on every mutation (the
+	// pre-write-back semantics, kept for comparison and for one-shot
+	// processes that exit right after a single operation).
+	WritebackMode string
+	// WritebackMaxOps caps deferred mutations before an inline drain
+	// (default 64; write-back mode only).
+	WritebackMaxOps int
+	// WritebackMaxBytes caps estimated batched metadata bytes before an
+	// inline drain (default 4 MiB; write-back mode only).
+	WritebackMaxBytes int64
 	// Obs, when set, is the observability registry the whole stack
 	// (vfs, enclave, SGX transitions) records into — share one registry
 	// across clients to aggregate, or leave nil for a private registry
@@ -236,6 +250,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("nexus: ClientConfig.Store is required")
 	}
+	var writeback enclave.WritebackMode
+	switch cfg.WritebackMode {
+	case "", "on":
+		writeback = enclave.WritebackOn
+	case "off":
+		writeback = enclave.WritebackOff
+	default:
+		return nil, fmt.Errorf("nexus: unknown WritebackMode %q (want \"on\" or \"off\")", cfg.WritebackMode)
+	}
 	platformCfg := sgx.PlatformConfig{
 		EPCSize:        cfg.EPCSize,
 		TransitionCost: cfg.TransitionCost,
@@ -263,6 +286,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		CryptoWorkers:        cfg.CryptoWorkers,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
+		Writeback:            writeback,
+		WritebackMaxOps:      cfg.WritebackMaxOps,
+		WritebackMaxBytes:    cfg.WritebackMaxBytes,
 		Obs:                  cfg.Obs,
 	})
 	if err != nil {
