@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nexus/internal/lint"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	opts, err := parseFlags(nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &options{}
+	if !reflect.DeepEqual(opts, want) {
+		t.Errorf("defaults = %+v", opts)
+	}
+}
+
+func TestParseFlagsRuleList(t *testing.T) {
+	opts, err := parseFlags([]string{"-rule", "secret-taint, span-coverage,", "./..."}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"secret-taint", "span-coverage"}
+	if !reflect.DeepEqual(opts.rules, want) {
+		t.Errorf("rules = %v, want %v", opts.rules, want)
+	}
+}
+
+func TestParseFlagsAll(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-v", "-json", "-sarif", "out.sarif", "-baseline", "none", "-write-baseline",
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.verbose || !opts.jsonOut || opts.sarifPath != "out.sarif" ||
+		opts.baselinePath != "none" || !opts.writeBaseline {
+		t.Errorf("parsed = %+v", opts)
+	}
+}
+
+func TestParseFlagsBadFlag(t *testing.T) {
+	var errOut bytes.Buffer
+	if _, err := parseFlags([]string{"-no-such-flag"}, &errOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestUsageListsEveryRule keeps the -h text in sync with the rule set.
+func TestUsageListsEveryRule(t *testing.T) {
+	var errOut bytes.Buffer
+	_, err := parseFlags([]string{"-h"}, &errOut)
+	if err == nil {
+		t.Fatal("-h should return flag.ErrHelp")
+	}
+	for _, c := range lint.Checkers() {
+		if !strings.Contains(errOut.String(), c.Rule) {
+			t.Errorf("usage does not mention rule %s", c.Rule)
+		}
+	}
+}
+
+// TestSchemaVersionPinned: bumping the schema is an intentional act —
+// this test forces whoever does it to also regenerate lint/baseline.json
+// (LoadBaseline rejects the old schema) and update this constant.
+func TestSchemaVersionPinned(t *testing.T) {
+	if lint.ReportSchema != 1 {
+		t.Fatalf("ReportSchema = %d; regenerate lint/baseline.json and update this pin", lint.ReportSchema)
+	}
+	if lint.SARIFVersion != "2.1.0" {
+		t.Fatalf("SARIFVersion = %q", lint.SARIFVersion)
+	}
+}

@@ -288,6 +288,11 @@ func New(cfg Config) (*Enclave, error) {
 	// The SGX container meters its transitions into the same registry,
 	// so one scrape covers ecalls, metadata I/O and chunk crypto.
 	cfg.SGX.SetObs(cfg.Obs)
+	// A store that can self-instrument (vfs.VersionedStore) joins the
+	// same registry, so its per-object spans nest under the ecall spans.
+	if in, ok := cfg.Store.(interface{ Instrument(*obs.Registry) }); ok {
+		in.Instrument(cfg.Obs)
+	}
 	e.metrics.workers.Set(int64(cfg.CryptoWorkers))
 	if !cfg.DisableMetadataCache {
 		e.cache = newMetaCache(cfg.SGX)

@@ -1,0 +1,124 @@
+package lint
+
+// Baseline support (DESIGN.md §8.3): a committed lint/baseline.json
+// records legacy findings so CI can gate on *new* violations while
+// the suppressed backlog stays visible and auditable. Matching is by
+// (file, rule, message) with an occurrence count — deliberately not
+// by line number, so unrelated edits shifting a file do not fault the
+// gate, while any new finding of the same shape in the same file
+// beyond the recorded count does.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted legacy finding shape.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Rule  string `json:"rule"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// Baseline is the committed acceptance list.
+type Baseline struct {
+	Schema  int             `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline captures every finding of res as the accepted backlog.
+func NewBaseline(root string, res *Result) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, f := range res.Findings {
+		jf := jsonFinding(root, f)
+		key := BaselineEntry{File: jf.File, Rule: jf.Rule, Msg: jf.Msg}
+		counts[key]++
+	}
+	bl := &Baseline{Schema: ReportSchema, Entries: []BaselineEntry{}}
+	for key, n := range counts {
+		key.Count = n
+		bl.Entries = append(bl.Entries, key)
+	}
+	sort.Slice(bl.Entries, func(i, j int) bool {
+		a, b := bl.Entries[i], bl.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return bl
+}
+
+// WriteFile writes the baseline, replacing any existing file.
+func (b *Baseline) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("lint: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadBaseline reads a baseline and validates its schema version.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var bl Baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("lint: decoding %s: %w", path, err)
+	}
+	if bl.Schema != ReportSchema {
+		return nil, fmt.Errorf("lint: baseline %s has schema %d, tool expects %d", path, bl.Schema, ReportSchema)
+	}
+	return &bl, nil
+}
+
+// Apply splits res into surviving (new) findings and the count of
+// baselined ones. stale lists entries the baseline still carries but
+// the analysis no longer produces — candidates for `make
+// lint-baseline`.
+func (b *Baseline) Apply(root string, res *Result) (newRes *Result, baselined int, stale []BaselineEntry) {
+	budget := make(map[BaselineEntry]int, len(b.Entries))
+	for _, e := range b.Entries {
+		key := e
+		key.Count = 0
+		budget[key] += e.Count
+	}
+	newRes = &Result{Suppressed: res.Suppressed}
+	for _, f := range res.Findings {
+		jf := jsonFinding(root, f)
+		key := BaselineEntry{File: jf.File, Rule: jf.Rule, Msg: jf.Msg}
+		if budget[key] > 0 {
+			budget[key]--
+			baselined++
+			continue
+		}
+		newRes.Findings = append(newRes.Findings, f)
+	}
+	for key, left := range budget {
+		if left > 0 {
+			key.Count = left
+			stale = append(stale, key)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].File != stale[j].File {
+			return stale[i].File < stale[j].File
+		}
+		return stale[i].Msg < stale[j].Msg
+	})
+	return newRes, baselined, stale
+}

@@ -59,7 +59,10 @@ type Checker struct {
 	Run func(m *Module, p *Package) []Finding
 }
 
-// Checkers returns every rule, in reporting order.
+// Checkers returns every rule, in reporting order. The last four are
+// interprocedural: they run once over the module's call graph and
+// taint summaries (callgraph.go, taint.go) and hand findings out per
+// package.
 func Checkers() []Checker {
 	return []Checker{
 		{Rule: RuleMathRand, Doc: "math/rand forbidden outside tests and workload generators", Run: checkMathRand},
@@ -67,6 +70,10 @@ func Checkers() []Checker {
 		{Rule: RuleNonce, Doc: "AEAD nonces must be fresh (crypto/rand or counter helper)", Run: checkNonce},
 		{Rule: RuleCryptoErr, Doc: "crypto errors must be checked", Run: checkCryptoErr},
 		{Rule: RuleLocks, Doc: "mutex lock/unlock pairing and guarded-by annotations", Run: checkLocks},
+		{Rule: RuleTaint, Doc: "key material must not flow (interprocedurally) into logs, errors, span tags or store uploads", Run: checkTaint},
+		{Rule: RuleLockedCall, Doc: "*Locked functions only reachable from contexts that hold a lock (call-graph check)", Run: checkLockedCall},
+		{Rule: RuleDirtyFlush, Doc: "enclave metadata mutations must reach a markDirty/flush barrier", Run: checkDirtyFlush},
+		{Rule: RuleSpan, Doc: "exported vfs/enclave/afs ops doing store/sgx/net work must open an obs span", Run: checkSpanCoverage},
 	}
 }
 
@@ -77,7 +84,12 @@ const (
 	RuleNonce     = "nonce-hygiene"
 	RuleCryptoErr = "unchecked-crypto-error"
 	RuleLocks     = "lock-discipline"
-	// RuleDirective reports malformed //lint:ignore directives.
+	// Interprocedural rules (this file ordering is reporting order).
+	RuleTaint      = "secret-taint"
+	RuleLockedCall = "locked-callgraph"
+	RuleDirtyFlush = "dirty-before-flush"
+	RuleSpan       = "span-coverage"
+	// RuleDirective reports malformed or stale //lint:ignore directives.
 	RuleDirective = "lint-directive"
 )
 
@@ -102,25 +114,48 @@ func Run(root string) (*Result, error) {
 // Analyze applies every rule to an already loaded module.
 func Analyze(mod *Module) *Result {
 	var findings []Finding
-	sup := make(map[supKey]bool)
+	var dirs []*directive
 	for _, pkg := range mod.Packages {
-		s, bad := collectSuppressions(pkg)
-		for k := range s {
-			sup[k] = true
-		}
+		ds, bad := collectSuppressions(pkg)
+		dirs = append(dirs, ds...)
 		findings = append(findings, bad...)
 		for _, c := range Checkers() {
 			findings = append(findings, c.Run(mod, pkg)...)
 		}
 	}
 
+	// Index directives by the (file, line, rule) keys they silence, so
+	// suppression marks them used and survivors are audited as stale.
+	sup := make(map[supKey][]*directive)
+	for _, d := range dirs {
+		for _, k := range d.keys() {
+			sup[k] = append(sup[k], d)
+		}
+	}
+
 	res := &Result{}
 	for _, f := range findings {
-		if f.Rule != RuleDirective && suppressed(sup, f) {
-			res.Suppressed++
-			continue
+		if f.Rule != RuleDirective {
+			if ds := sup[supKey{f.Pos.Filename, f.Pos.Line, f.Rule}]; len(ds) > 0 {
+				for _, d := range ds {
+					d.used = true
+				}
+				res.Suppressed++
+				continue
+			}
 		}
 		res.Findings = append(res.Findings, f)
+	}
+	// Staleness audit: a directive that silenced nothing is itself a
+	// finding — dead suppressions hide future regressions.
+	for _, d := range dirs {
+		if !d.used {
+			res.Findings = append(res.Findings, Finding{
+				Pos:  d.pos,
+				Rule: RuleDirective,
+				Msg:  "stale //lint:ignore " + d.rule + ": no finding of that rule here any more; remove the directive",
+			})
+		}
 	}
 	sort.Slice(res.Findings, func(i, j int) bool {
 		a, b := res.Findings[i], res.Findings[j]

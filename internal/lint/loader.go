@@ -58,6 +58,14 @@ type Module struct {
 	Root     string
 	Fset     *token.FileSet
 	Packages []*Package
+
+	// Lazily built interprocedural analysis state, shared by the
+	// cross-function rules (see callgraph.go and taint.go).
+	cg    *CallGraph
+	taint *taintState
+	// Cached module-wide findings of the graph rules (computed once,
+	// handed out per package by the Checker shims).
+	lockedF, dirtyF, spanF *[]Finding
 }
 
 // LoadModule parses and type-checks every package under root (the

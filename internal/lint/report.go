@@ -1,0 +1,237 @@
+package lint
+
+// Machine-readable findings (DESIGN.md §8.3), mirroring the
+// schema-version idiom of internal/bench/report.go: every JSON
+// artifact is stamped with ReportSchema, readers refuse mismatched
+// versions, and the SARIF emitter targets the fixed 2.1.0 spec so CI
+// can upload it as a code-scanning artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// ReportSchema is the version stamped into JSON reports and baseline
+// files. Bump it whenever JSONFinding or Baseline change incompatibly.
+const ReportSchema = 1
+
+// SARIFVersion is the emitted SARIF spec version.
+const SARIFVersion = "2.1.0"
+
+// JSONFinding is one finding with a module-root-relative,
+// forward-slash file path — stable across machines, diffable, and the
+// unit of baseline matching.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col,omitempty"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// JSONReport is the -json output of nexus-lint.
+type JSONReport struct {
+	Schema     int           `json:"schema"`
+	Findings   []JSONFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+	// Baselined counts findings matched (and swallowed) by the
+	// baseline file; it is zero when no baseline was applied.
+	Baselined int `json:"baselined,omitempty"`
+}
+
+// jsonFinding converts a Finding, relativizing its path against the
+// module root.
+func jsonFinding(root string, f Finding) JSONFinding {
+	return JSONFinding{
+		File: relPath(root, f.Pos.Filename),
+		Line: f.Pos.Line,
+		Col:  f.Pos.Column,
+		Rule: f.Rule,
+		Msg:  f.Msg,
+	}
+}
+
+func relPath(root, name string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(name)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// NewJSONReport builds the JSON view of a result. baselined is the
+// count of findings removed by baseline matching (0 when none).
+func NewJSONReport(root string, res *Result, baselined int) *JSONReport {
+	rep := &JSONReport{
+		Schema:     ReportSchema,
+		Findings:   []JSONFinding{},
+		Suppressed: res.Suppressed,
+		Baselined:  baselined,
+	}
+	for _, f := range res.Findings {
+		rep.Findings = append(rep.Findings, jsonFinding(root, f))
+	}
+	return rep
+}
+
+// Encode writes the report as indented JSON.
+func (r *JSONReport) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeJSONReport reads a report and validates its schema version.
+func DecodeJSONReport(rd io.Reader) (*JSONReport, error) {
+	var rep JSONReport
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("lint: decoding report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("lint: report schema %d, tool expects %d", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// --- SARIF ----------------------------------------------------------
+
+// sarif* types model the minimal SARIF 2.1.0 subset GitHub code
+// scanning and IDE viewers consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// EncodeSARIF writes the result as a SARIF 2.1.0 log. Every rule is
+// declared in the driver (found or not), so viewers can show the full
+// rule set.
+func EncodeSARIF(w io.Writer, root string, res *Result) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:  "nexus-lint",
+			Rules: []sarifRule{},
+		}},
+		Results: []sarifResult{},
+	}
+	for _, c := range Checkers() {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               c.Rule,
+			ShortDescription: sarifMessage{Text: c.Doc},
+		})
+	}
+	run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+		ID:               RuleDirective,
+		ShortDescription: sarifMessage{Text: "malformed or stale //lint:ignore directive"},
+	})
+	for _, f := range res.Findings {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: SARIFVersion,
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// FilterRules returns a copy of res keeping only findings of the named
+// rules (nil or empty selector keeps everything). Unknown rule names
+// are reported as an error so -rule typos fail loudly.
+func FilterRules(res *Result, rules []string) (*Result, error) {
+	if len(rules) == 0 {
+		return res, nil
+	}
+	known := map[string]bool{RuleDirective: true}
+	for _, c := range Checkers() {
+		known[c.Rule] = true
+	}
+	keep := make(map[string]bool)
+	for _, r := range rules {
+		if !known[r] {
+			names := make([]string, 0, len(known))
+			for k := range known {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("lint: unknown rule %q (have %v)", r, names)
+		}
+		keep[r] = true
+	}
+	out := &Result{Suppressed: res.Suppressed}
+	for _, f := range res.Findings {
+		if keep[f.Rule] {
+			out.Findings = append(out.Findings, f)
+		}
+	}
+	return out, nil
+}

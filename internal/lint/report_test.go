@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixtureFile(t *testing.T, root, name, src string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(name))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleResult() *Result {
+	return &Result{
+		Findings: []Finding{
+			{Pos: token.Position{Filename: "/mod/internal/enclave/x.go", Line: 6, Column: 9}, Rule: RuleTaint, Msg: "key material 'rootKey' flows into fmt.Errorf"},
+			{Pos: token.Position{Filename: "/mod/internal/vfs/v.go", Line: 9, Column: 1}, Rule: RuleSpan, Msg: "exported op ReadFile reaches the store without a span"},
+		},
+		Suppressed: 3,
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewJSONReport("/mod", sampleResult(), 1).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DecodeJSONReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("Schema = %d, want %d", rep.Schema, ReportSchema)
+	}
+	if len(rep.Findings) != 2 || rep.Suppressed != 3 || rep.Baselined != 1 {
+		t.Errorf("decoded %+v", rep)
+	}
+	if rep.Findings[0].File != "internal/enclave/x.go" {
+		t.Errorf("path not module-relative: %q", rep.Findings[0].File)
+	}
+}
+
+func TestJSONReportSchemaMismatchRejected(t *testing.T) {
+	_, err := DecodeJSONReport(strings.NewReader(`{"schema": 999, "findings": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema-mismatch error, got %v", err)
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSARIF(&buf, "/mod", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != SARIFVersion {
+		t.Errorf("version = %q, want %q", log.Version, SARIFVersion)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "nexus-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every rule is declared, found or not (plus the directive rule).
+	if want := len(Checkers()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("driver declares %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 || run.Results[0].RuleID != RuleTaint {
+		t.Errorf("results = %+v", run.Results)
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/enclave/x.go" {
+		t.Errorf("artifact URI = %q, want module-relative", uri)
+	}
+}
+
+func TestFilterRules(t *testing.T) {
+	res, err := FilterRules(sampleResult(), []string{RuleSpan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Rule != RuleSpan {
+		t.Errorf("filtered = %v", res.Findings)
+	}
+	if _, err := FilterRules(sampleResult(), []string{"no-such-rule"}); err == nil {
+		t.Fatal("unknown rule name accepted")
+	}
+}
+
+func TestBaselineSwallowsRecordedAndGatesNew(t *testing.T) {
+	bl := NewBaseline("/mod", sampleResult())
+	if len(bl.Entries) != 2 {
+		t.Fatalf("entries = %+v", bl.Entries)
+	}
+
+	// Same findings again: all baselined, gate passes.
+	clean, baselined, stale := bl.Apply("/mod", sampleResult())
+	if len(clean.Findings) != 0 || baselined != 2 || len(stale) != 0 {
+		t.Errorf("apply(clean): findings=%v baselined=%d stale=%v", clean.Findings, baselined, stale)
+	}
+
+	// A new violation — same rule, different message — survives.
+	res := sampleResult()
+	res.Findings = append(res.Findings, Finding{
+		Pos:  token.Position{Filename: "/mod/internal/enclave/y.go", Line: 3},
+		Rule: RuleTaint, Msg: "key material 'wrapKey' flows into log.Printf",
+	})
+	gated, baselined, _ := bl.Apply("/mod", res)
+	if len(gated.Findings) != 1 || baselined != 2 {
+		t.Errorf("apply(new): findings=%v baselined=%d", gated.Findings, baselined)
+	}
+
+	// A second occurrence of a recorded shape in the same file also
+	// exceeds its count budget and survives.
+	res = sampleResult()
+	res.Findings = append(res.Findings, Finding{
+		Pos:  token.Position{Filename: "/mod/internal/enclave/x.go", Line: 40, Column: 9},
+		Rule: RuleTaint, Msg: "key material 'rootKey' flows into fmt.Errorf",
+	})
+	gated, _, _ = bl.Apply("/mod", res)
+	if len(gated.Findings) != 1 {
+		t.Errorf("count budget not enforced: %v", gated.Findings)
+	}
+
+	// A fixed finding shows up as stale.
+	res = sampleResult()
+	res.Findings = res.Findings[:1]
+	_, _, stale = bl.Apply("/mod", res)
+	if len(stale) != 1 || stale[0].Rule != RuleSpan {
+		t.Errorf("stale = %+v", stale)
+	}
+}
+
+func TestBaselineFileRoundTripAndSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	bl := NewBaseline("/mod", sampleResult())
+	if err := bl.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(bl.Entries) || got.Schema != ReportSchema {
+		t.Errorf("round trip: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := (&Baseline{Schema: 999}).WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	// Schema validation must reject before anything trusts the entries.
+	if _, err := LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+// TestBaselineGateEndToEnd drives the real analyzer: a fixture with a
+// violation is baselined, then a second violation added on top is the
+// only thing the gate reports.
+func TestBaselineGateEndToEnd(t *testing.T) {
+	src := `package enclave
+
+import "fmt"
+
+func mount(rootKey []byte) error {
+	return fmt.Errorf("key %x", rootKey)
+}
+`
+	root := t.TempDir()
+	writeFixtureFile(t, root, "go.mod", "module fixture\n\ngo 1.22\n")
+	writeFixtureFile(t, root, "internal/enclave/x.go", src)
+	res, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findingsFor(res, RuleTaint)) != 1 {
+		t.Fatalf("fixture should produce one taint finding: %v", res.Findings)
+	}
+	bl := NewBaseline(root, res)
+
+	writeFixtureFile(t, root, "internal/enclave/x.go", src+`
+func unmount(sealingKey []byte) error {
+	return fmt.Errorf("still holding %x", sealingKey)
+}
+`)
+	res2, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, baselined, _ := bl.Apply(root, res2)
+	if baselined != 1 {
+		t.Errorf("baselined = %d, want 1", baselined)
+	}
+	if got := findingsFor(gated, RuleTaint); len(got) != 1 {
+		t.Fatalf("gate should surface exactly the new violation, got %v", got)
+	}
+}

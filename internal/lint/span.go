@@ -1,0 +1,74 @@
+package lint
+
+// span-coverage: keeps the PR-4 observability contract honest as the
+// code grows (DESIGN.md §8.2, §11). Every *exported* operation of the
+// hot-path packages (internal/vfs, internal/enclave, internal/afs)
+// that does real work — transitively touches the untrusted store, an
+// SGX transition, or the network — must also transitively open an obs
+// span ((*Tracer).Begin or (*Tracer).StartSpan). Enclave ops satisfy
+// the rule by routing through sgx.Ecall/Ocall, which open their own
+// spans; an op that reaches the store while bypassing both the ecall
+// wrapper and a package-local span is exactly the blind spot the rule
+// exists to light up.
+//
+// Pure accessors and in-memory helpers are never flagged: a function
+// with no effectful reachability has nothing to trace.
+
+// checkSpanCoverage is the per-package shim over the module-wide pass.
+func checkSpanCoverage(m *Module, p *Package) []Finding {
+	if p.Info == nil || !spanCoverageDirs[relDir(m, p)] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range m.spanCoverageFindings() {
+		if packageOwnsFile(p, f.Pos.Filename) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// spanCoverageFindings computes (once) the uncovered effectful
+// exported operations of the module.
+func (m *Module) spanCoverageFindings() []Finding {
+	if m.spanF != nil {
+		return *m.spanF
+	}
+	out := m.computeSpanCoverage()
+	m.spanF = &out
+	return out
+}
+
+func (m *Module) computeSpanCoverage() []Finding {
+	g := m.callGraph()
+	effMemo := make(map[*CGNode]int8)
+	spanMemo := make(map[*CGNode]int8)
+	var out []Finding
+	for _, n := range g.Nodes {
+		if n.Decl == nil || n.Pkg == nil || !spanCoverageDirs[relDir(m, n.Pkg)] {
+			continue
+		}
+		if !n.Decl.Name.IsExported() {
+			continue
+		}
+		effectful := g.Reaches(n, true, effMemo, func(t *CGNode) bool {
+			return t.Fn != nil && isEffectful(m, t.Fn)
+		})
+		if !effectful {
+			continue
+		}
+		covered := g.Reaches(n, true, spanMemo, func(t *CGNode) bool {
+			return t.Fn != nil && isSpanOpen(m, t.Fn)
+		})
+		if covered {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  n.Pkg.Fset.Position(n.Decl.Name.Pos()),
+			Rule: RuleSpan,
+			Msg: "exported op " + n.Name + " reaches the store/network/sgx layer without ever opening an obs span;" +
+				" wrap the work in tracer.Begin or route it through the ecall wrapper",
+		})
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package lint
+
+import "testing"
+
+// spanFixtureObs / spanFixtureBackend are the minimal obs and backend
+// packages the span-coverage rule recognizes (Tracer.Begin as the span
+// opener, Store methods as the effect).
+const spanFixtureObs = `package obs
+
+type Tracer struct{}
+
+type Span struct{}
+
+func (t *Tracer) Begin(name string) *Span { return &Span{} }
+
+func (s *Span) End() {}
+`
+
+const spanFixtureBackend = `package backend
+
+type Store struct{}
+
+func (s *Store) Get(name string) ([]byte, error) { return nil, nil }
+
+func (s *Store) Put(name string, data []byte) error { return nil }
+`
+
+func TestSpanUncoveredExportedOp(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/obs/o.go":     spanFixtureObs,
+		"internal/backend/b.go": spanFixtureBackend,
+		"internal/vfs/v.go": `package vfs
+
+import "fixture/internal/backend"
+
+type FS struct {
+	st *backend.Store
+}
+
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	return f.st.Get(p)
+}
+`,
+	})
+	expect(t, res, RuleSpan, "v.go:9")
+}
+
+func TestSpanCoveredDirectly(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/obs/o.go":     spanFixtureObs,
+		"internal/backend/b.go": spanFixtureBackend,
+		"internal/vfs/v.go": `package vfs
+
+import (
+	"fixture/internal/backend"
+	"fixture/internal/obs"
+)
+
+type FS struct {
+	st *backend.Store
+	tr *obs.Tracer
+}
+
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	sp := f.tr.Begin("vfs.read")
+	defer sp.End()
+	return f.st.Get(p)
+}
+`,
+	})
+	expect(t, res, RuleSpan)
+}
+
+// TestSpanCoveredTransitively mirrors the enclave's real shape: the
+// exported op routes its work through a wrapper that opens the span
+// (e.sgx.Ecall opening "sgx.ecall" in the repo).
+func TestSpanCoveredTransitively(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/obs/o.go":     spanFixtureObs,
+		"internal/backend/b.go": spanFixtureBackend,
+		"internal/vfs/v.go": `package vfs
+
+import (
+	"fixture/internal/backend"
+	"fixture/internal/obs"
+)
+
+type FS struct {
+	st *backend.Store
+	tr *obs.Tracer
+}
+
+func (f *FS) withSpan(name string, fn func() error) error {
+	sp := f.tr.Begin(name)
+	defer sp.End()
+	return fn()
+}
+
+func (f *FS) Sync(p string) error {
+	return f.withSpan("vfs.sync", func() error {
+		return f.st.Put(p, nil)
+	})
+}
+`,
+	})
+	expect(t, res, RuleSpan)
+}
+
+// TestSpanNonEffectfulOpExempt: an exported op that never leaves the
+// process needs no span.
+func TestSpanNonEffectfulOpExempt(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/obs/o.go":     spanFixtureObs,
+		"internal/backend/b.go": spanFixtureBackend,
+		"internal/vfs/v.go": `package vfs
+
+type FS struct {
+	cached []byte
+}
+
+func (f *FS) Cached() []byte {
+	return f.cached
+}
+`,
+	})
+	expect(t, res, RuleSpan)
+}
+
+// TestSpanRuleScopedToConfiguredDirs: effectful exported ops outside
+// vfs/enclave/afs (here: a tool package) are not checked.
+func TestSpanRuleScopedToConfiguredDirs(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/obs/o.go":     spanFixtureObs,
+		"internal/backend/b.go": spanFixtureBackend,
+		"internal/tools/t.go": `package tools
+
+import "fixture/internal/backend"
+
+func Dump(s *backend.Store) ([]byte, error) {
+	return s.Get("everything")
+}
+`,
+	})
+	expect(t, res, RuleSpan)
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -11,10 +12,28 @@ type supKey struct {
 	rule string
 }
 
+// directive is one parsed //lint:ignore entry for one rule (a
+// comma-separated directive yields one per rule). used is set during
+// Analyze when the directive actually silences a finding; directives
+// that silence nothing are reported as stale.
+type directive struct {
+	pos  token.Position
+	rule string
+	used bool
+}
+
+// keys returns the (file, line, rule) slots the directive covers: its
+// own line and the immediately following line, so both trailing and
+// preceding-line placement work.
+func (d *directive) keys() []supKey {
+	return []supKey{
+		{d.pos.Filename, d.pos.Line, d.rule},
+		{d.pos.Filename, d.pos.Line + 1, d.rule},
+	}
+}
+
 // collectSuppressions scans a package's comments (including test files)
-// for //lint:ignore directives. A directive silences matching findings on
-// its own line and on the immediately following line, so both trailing
-// and preceding-line placement work:
+// for //lint:ignore directives:
 //
 //	x := foo() //lint:ignore RULE reason
 //
@@ -24,13 +43,13 @@ type supKey struct {
 // Malformed directives (no rule, unknown rule, or missing reason) are
 // reported as findings themselves: a suppression that silently does
 // nothing is worse than none.
-func collectSuppressions(p *Package) (map[supKey]bool, []Finding) {
+func collectSuppressions(p *Package) ([]*directive, []Finding) {
 	known := make(map[string]bool)
 	for _, c := range Checkers() {
 		known[c.Rule] = true
 	}
 
-	sup := make(map[supKey]bool)
+	var dirs []*directive
 	var bad []Finding
 	for _, f := range p.Files {
 		for _, group := range f.AST.Comments {
@@ -65,16 +84,10 @@ func collectSuppressions(p *Package) (map[supKey]bool, []Finding) {
 					continue
 				}
 				for _, r := range rules {
-					sup[supKey{pos.Filename, pos.Line, r}] = true
-					sup[supKey{pos.Filename, pos.Line + 1, r}] = true
+					dirs = append(dirs, &directive{pos: pos, rule: r})
 				}
 			}
 		}
 	}
-	return sup, bad
-}
-
-// suppressed reports whether a finding is covered by a directive.
-func suppressed(sup map[supKey]bool, f Finding) bool {
-	return sup[supKey{f.Pos.Filename, f.Pos.Line, f.Rule}]
+	return dirs, bad
 }

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The secret-taint fixtures use unexported functions so the
+// enclave-boundary rule (exported-signature check) stays quiet and each
+// test exercises exactly the taint engine.
+
+func TestTaintDirectFlowIntoErrorf(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+func mount(rootKey []byte) error {
+	return fmt.Errorf("mount failed, key was %x", rootKey)
+}
+`,
+	})
+	expect(t, res, RuleTaint, "x.go:6")
+}
+
+// TestTaintInterprocedural is the acceptance-criteria fixture: the key
+// reaches the sink only through a two-call chain, so a per-function
+// check cannot see it. The finding lands where the tainted value enters
+// the chain, in the function that actually holds key material.
+func TestTaintInterprocedural(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+func describe(b []byte) string {
+	return fmt.Sprintf("%x", b)
+}
+
+func fail(b []byte) error {
+	return fmt.Errorf("context: %s", describe(b))
+}
+
+func mount(rootKey []byte) error {
+	return fail(rootKey)
+}
+`,
+	})
+	expect(t, res, RuleTaint, "x.go:14")
+	// The diagnostic names the source and carries the call chain.
+	for _, f := range res.Findings {
+		if f.Rule == RuleTaint {
+			if !strings.Contains(f.Msg, "rootKey") {
+				t.Errorf("finding does not name the source: %q", f.Msg)
+			}
+		}
+	}
+}
+
+// TestTaintSanitizedFlowClean: routing the key through a seal/wrap
+// function produces a protected form, which may be formatted freely.
+func TestTaintSanitizedFlowClean(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+func sealKey(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func mount(rootKey []byte) error {
+	sealed := sealKey(rootKey)
+	return fmt.Errorf("sealed form %x", sealed)
+}
+`,
+	})
+	expect(t, res, RuleTaint) // no findings
+}
+
+// TestTaintSanitizerDenyList: an *un*seal function is not a sanitizer
+// even though "unseal" contains "seal".
+func TestTaintSanitizerDenyList(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+func unsealKey(b []byte) []byte { return b }
+
+func mount(sealedRootKey []byte) error {
+	rootKey := unsealKey(sealedRootKey)
+	return fmt.Errorf("key: %x", rootKey)
+}
+`,
+	})
+	if got := findingsFor(res, RuleTaint); len(got) == 0 {
+		t.Fatalf("unseal result formatted into error not flagged; findings: %v", res.Findings)
+	}
+}
+
+// TestTaintFieldFlow: a key stashed in a struct field by one method and
+// formatted by another is caught through the module-global field set.
+func TestTaintFieldFlow(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+type vault struct {
+	k []byte
+}
+
+func (v *vault) set(rootKey []byte) {
+	v.k = rootKey
+}
+
+func (v *vault) dump() string {
+	return fmt.Sprintf("%x", v.k)
+}
+`,
+	})
+	expect(t, res, RuleTaint, "x.go:14")
+}
+
+// TestTaintStoreUploadSink: raw key bytes handed to a store Put are an
+// upload of secrets to the untrusted world.
+func TestTaintStoreUploadSink(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/backend/b.go": `package backend
+
+type Store struct{}
+
+func (s *Store) Put(name string, data []byte) error { return nil }
+`,
+		"internal/enclave/x.go": `package enclave
+
+import "fixture/internal/backend"
+
+func persist(s *backend.Store, wrapKey []byte) error {
+	return s.Put("volume-key", wrapKey)
+}
+`,
+	})
+	expect(t, res, RuleTaint, "x.go:6")
+}
+
+// TestTaintExtraSourcesPerPackage: taintExtraSources extends the
+// source set for internal/enclave ("volumekey") but not elsewhere.
+func TestTaintExtraSourcesPerPackage(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+func report(volumeKey []byte) error {
+	return fmt.Errorf("%x", volumeKey)
+}
+`,
+		"internal/workload/x.go": `package workload
+
+import "fmt"
+
+func report(volumeKey []byte) error {
+	return fmt.Errorf("%x", volumeKey)
+}
+`,
+	})
+	expect(t, res, RuleTaint, "x.go:6") // enclave only
+	for _, f := range res.Findings {
+		if f.Rule == RuleTaint && strings.Contains(f.Pos.Filename, "workload") {
+			t.Errorf("per-package source leaked into workload: %v", f)
+		}
+	}
+}
+
+func TestTaintSuppression(t *testing.T) {
+	res := analyzeFixture(t, map[string]string{
+		"internal/enclave/x.go": `package enclave
+
+import "fmt"
+
+func mount(rootKey []byte) error {
+	//lint:ignore secret-taint fixture: demonstrating the directive
+	return fmt.Errorf("key %x", rootKey)
+}
+`,
+	})
+	expect(t, res, RuleTaint)
+	if res.Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", res.Suppressed)
+	}
+}

@@ -35,7 +35,8 @@ import (
 // client implements the surface natively (versions come from the
 // server); this adapter covers local directory and in-memory volumes.
 type VersionedStore struct {
-	store backend.Store
+	store  backend.Store
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	versions map[string]uint64 // guarded by mu
@@ -48,8 +49,23 @@ func NewVersionedStore(store backend.Store) *VersionedStore {
 	return &VersionedStore{store: store, versions: make(map[string]uint64)}
 }
 
+// Instrument attaches the registry's tracer so each store operation
+// opens a span under whatever ecall span is active. The enclave calls
+// this at construction for any store that exposes it (this is the
+// ocall surface of the paper: the only place enclave I/O touches the
+// untrusted world, so it is where storage latency is attributed).
+func (s *VersionedStore) Instrument(reg *obs.Registry) { s.tracer = reg.Tracer() }
+
+func (s *VersionedStore) span(name string) *obs.Span {
+	if s.tracer == nil {
+		return nil // Span methods are nil-safe
+	}
+	return s.tracer.Begin(name)
+}
+
 // GetVersioned implements enclave.ObjectStore.
 func (s *VersionedStore) GetVersioned(name string) ([]byte, uint64, error) {
+	defer s.span("store.get").End()
 	data, err := s.store.Get(name)
 	if err != nil {
 		return nil, 0, err
@@ -62,6 +78,7 @@ func (s *VersionedStore) GetVersioned(name string) ([]byte, uint64, error) {
 
 // PutVersioned implements enclave.ObjectStore.
 func (s *VersionedStore) PutVersioned(name string, data []byte) (uint64, error) {
+	defer s.span("store.put").End()
 	if err := s.store.Put(name, data); err != nil {
 		return 0, err
 	}
@@ -73,10 +90,16 @@ func (s *VersionedStore) PutVersioned(name string, data []byte) (uint64, error) 
 }
 
 // Delete implements enclave.ObjectStore.
-func (s *VersionedStore) Delete(name string) error { return s.store.Delete(name) }
+func (s *VersionedStore) Delete(name string) error {
+	defer s.span("store.delete").End()
+	return s.store.Delete(name)
+}
 
 // Lock implements enclave.ObjectStore.
-func (s *VersionedStore) Lock(name string) (func(), error) { return s.store.Lock(name) }
+func (s *VersionedStore) Lock(name string) (func(), error) {
+	defer s.span("store.lock").End()
+	return s.store.Lock(name)
+}
 
 // DirEntry is a directory listing entry.
 type DirEntry struct {
