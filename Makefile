@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint lint-baseline fuzz-smoke chaos obs bench bench-baseline cover ci clean
+.PHONY: all build test race vet lint lint-baseline fuzz-smoke chaos obs bench bench-baseline cover revoke-sweep ci clean
 
 all: build
 
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzGCMSIVRoundTrip -fuzztime=$(FUZZTIME) ./internal/gcmsiv/
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/afs/
 	$(GO) test -run=^$$ -fuzz=FuzzRetrySchedule -fuzztime=$(FUZZTIME) ./internal/afs/
+	$(GO) test -run=^$$ -fuzz=FuzzGroupTreeDecode -fuzztime=$(FUZZTIME) ./internal/groupkey/
 
 # chaos runs the seeded fault-injection suites under the race detector,
 # once per seed in CHAOS_SEEDS: the AFS transport suite
@@ -76,8 +77,16 @@ bench-baseline:
 
 # cover reports coverage on the packages gated by the CI floor.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/metadata/ ./internal/gcmsiv/ ./internal/obs/
+	$(GO) test -coverprofile=cover.out ./internal/metadata/ ./internal/gcmsiv/ ./internal/obs/ ./internal/groupkey/
 	$(GO) tool cover -func=cover.out | tail -1
+
+# revoke-sweep reproduces the §VII-E membership sweep (10^3–10^6 users)
+# comparing the subgroup key tree's O(log n) revocation against the
+# flat rotate-and-rewrap baseline, and writes the rows into the JSON
+# report for nexus-benchdiff (informational wraps/op column).
+revoke-sweep:
+	$(GO) run ./cmd/nexus-bench -exp revoke-sweep -json \
+		-members 1000,10000,100000,1000000 -groupmode both
 
 ci: build vet lint race chaos obs
 

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto|metadata]
+//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata]
 //	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
 //	            [-entries N] [-transition duration] [-no-cache]
 //	            [-workers N] [-json] [-out FILE] [-crypto-workers LIST]
+//	            [-members LIST] [-groupmode tree|flat|both]
 //
 // -scale divides workload file *sizes* (never counts) so paper-scale
 // experiments (-scale 1) and quick runs (-scale 1024) use identical
@@ -38,7 +39,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|sharing|crypto|metadata|ablation")
+	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|ablation")
 	scale := flag.Int64("scale", 64, "divide workload file sizes by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "repetitions averaged per measurement")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated network round-trip time")
@@ -51,6 +52,8 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "", "report path for -json (default BENCH_<rev>.json)")
 	cryptoWorkers := flag.String("crypto-workers", "1,2,4,8", "comma-separated worker counts for the crypto experiment")
+	members := flag.String("members", "1000,10000,100000,1000000", "comma-separated membership sizes for the revoke-sweep experiment")
+	groupMode := flag.String("groupmode", "both", "revoke-sweep structures: tree|flat|both (flat is the O(n) re-wrap baseline)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -151,6 +154,24 @@ func run() error {
 			return fmt.Errorf("revoke: %w", err)
 		}
 		bench.PrintRevocation(os.Stdout, rows)
+	}
+	if want("revoke-sweep") {
+		var counts []int
+		for _, s := range splitCSV(*members) {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 4 {
+				return fmt.Errorf("bad -members value %q", s)
+			}
+			counts = append(counts, n)
+		}
+		rows, err := bench.MembershipSweep(counts, *groupMode, *runs)
+		if err != nil {
+			return fmt.Errorf("revoke-sweep: %w", err)
+		}
+		bench.PrintMembership(os.Stdout, rows)
+		if report != nil {
+			report.Experiments["revoke_membership"] = bench.MembershipMetrics(rows)
+		}
 	}
 	if want("sharing") {
 		rows, err := bench.Sharing(env)

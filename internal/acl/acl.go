@@ -103,7 +103,25 @@ func ParseRights(s string) (Rights, error) {
 	return r, nil
 }
 
-// Entry grants rights to one user.
+// GroupIDFlag marks an entry's UserID as naming a subgroup of the
+// volume's membership key tree (internal/groupkey) rather than a single
+// user: the low 31 bits carry the tree's stable leaf index. Real user
+// IDs stay below the flag (the supernode enforces this at AddUser), so
+// group entries ride the existing wire format unchanged and pre-group
+// volumes decode identically.
+const GroupIDFlag uint32 = 1 << 31
+
+// GroupEntryID returns the entry ID naming a key-tree leaf subgroup.
+func GroupEntryID(leaf uint32) uint32 { return leaf | GroupIDFlag }
+
+// IsGroupEntry reports whether an entry ID names a subgroup.
+func IsGroupEntry(id uint32) bool { return id&GroupIDFlag != 0 }
+
+// GroupLeaf extracts the leaf subgroup index from a group entry ID.
+func GroupLeaf(id uint32) uint32 { return id &^ GroupIDFlag }
+
+// Entry grants rights to one user, or — when UserID carries
+// GroupIDFlag — to every member of one key-tree leaf subgroup.
 type Entry struct {
 	UserID uint32
 	Rights Rights
@@ -192,6 +210,27 @@ func (l *List) Check(userID uint32, isOwner bool, want Rights) (Decision, bool) 
 	}
 	d.Have = l.Get(userID)
 	return d, d.Have.Has(want)
+}
+
+// ResolveRights unions the user's direct entry with every group entry
+// naming a subgroup in groups (the caller obtains groups from the key
+// tree's GroupsOf). Default-deny: no entries, no rights.
+func (l *List) ResolveRights(userID uint32, groups []uint32) Rights {
+	r := l.Get(userID)
+	for _, g := range groups {
+		r |= l.Get(GroupEntryID(g))
+	}
+	return r
+}
+
+// CheckGroups is Check with group resolution: the user may act when its
+// direct entry and its subgroups' entries together cover want. The
+// owner bypass is unchanged.
+func (l *List) CheckGroups(userID uint32, isOwner bool, groups []uint32, want Rights) bool {
+	if isOwner {
+		return true
+	}
+	return l.ResolveRights(userID, groups).Has(want)
 }
 
 // Encode appends the list to w.

@@ -200,3 +200,72 @@ func TestQuickEncodeDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGroupEntryIDHelpers(t *testing.T) {
+	for _, leaf := range []uint32{0, 1, 7, 1<<31 - 1} {
+		id := GroupEntryID(leaf)
+		if !IsGroupEntry(id) {
+			t.Fatalf("IsGroupEntry(GroupEntryID(%d)) = false", leaf)
+		}
+		if got := GroupLeaf(id); got != leaf {
+			t.Fatalf("GroupLeaf round-trip: %d → %d", leaf, got)
+		}
+	}
+	for _, userID := range []uint32{1, 42, GroupIDFlag - 1} {
+		if IsGroupEntry(userID) {
+			t.Fatalf("plain user id %d classified as group", userID)
+		}
+	}
+}
+
+func TestResolveRightsUnionsGroups(t *testing.T) {
+	var l List
+	l.Set(5, Rights(Insert))
+	l.Set(GroupEntryID(0), ReadOnly)
+	l.Set(GroupEntryID(3), Rights(Write))
+
+	// Member of leaf 0 only: direct ∪ leaf-0 grant.
+	if got := l.ResolveRights(5, []uint32{0}); got != ReadOnly|Insert {
+		t.Fatalf("ResolveRights = %v, want %v", got, ReadOnly|Insert)
+	}
+	// Member of both granted leaves.
+	if got := l.ResolveRights(5, []uint32{0, 3}); got != ReadOnly|Insert|Write {
+		t.Fatalf("ResolveRights two leaves = %v", got)
+	}
+	// No direct entry, group only.
+	if got := l.ResolveRights(9, []uint32{0}); got != ReadOnly {
+		t.Fatalf("group-only ResolveRights = %v, want %v", got, ReadOnly)
+	}
+	// No groups at all: default deny.
+	if got := l.ResolveRights(9, nil); got != None {
+		t.Fatalf("no-group ResolveRights = %v, want None", got)
+	}
+	// Leaf without a grant confers nothing.
+	if got := l.ResolveRights(9, []uint32{7}); got != None {
+		t.Fatalf("ungranted leaf ResolveRights = %v", got)
+	}
+}
+
+func TestCheckGroups(t *testing.T) {
+	var l List
+	l.Set(GroupEntryID(2), ReadOnly)
+	if !l.CheckGroups(8, false, []uint32{2}, Read) {
+		t.Fatal("group grant did not confer Read")
+	}
+	if l.CheckGroups(8, false, []uint32{2}, Write) {
+		t.Fatal("group grant conferred Write it does not hold")
+	}
+	if l.CheckGroups(8, false, nil, Read) {
+		t.Fatal("non-member passed check")
+	}
+	if !l.CheckGroups(8, true, nil, All) {
+		t.Fatal("owner bypass broken under CheckGroups")
+	}
+	// Group entries survive the wire format unchanged.
+	w := serial.NewWriter(32)
+	l.Encode(w)
+	got := DecodeList(serial.NewReader(w.Bytes()))
+	if got.Get(GroupEntryID(2)) != ReadOnly {
+		t.Fatal("group entry lost in encode/decode")
+	}
+}

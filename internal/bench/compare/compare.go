@@ -38,6 +38,11 @@ type Delta struct {
 	// flush counts move by design when batching policy changes — so it
 	// never sets Regressed.
 	FlushRatio float64
+	// WrapRatio compares key wraps per revocation (the membership
+	// sweep) when both reports carry the figure; zero otherwise.
+	// Informational only, like FlushRatio: wrap counts move by design
+	// when the key-tree geometry changes.
+	WrapRatio float64
 }
 
 // Diff compares current against baseline metric by metric. tolerance is
@@ -78,6 +83,9 @@ func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, er
 				if base.FlushesPerOp > 0 && cur.FlushesPerOp > 0 {
 					d.FlushRatio = cur.FlushesPerOp / base.FlushesPerOp
 				}
+				if base.WrapsPerOp > 0 && cur.WrapsPerOp > 0 {
+					d.WrapRatio = cur.WrapsPerOp / base.WrapsPerOp
+				}
 			}
 			if d.Regressed {
 				regressed = true
@@ -116,6 +124,9 @@ func Format(w io.Writer, deltas []Delta, tolerance float64) {
 		}
 		if d.FlushRatio > 0 {
 			tails += fmt.Sprintf("  flushes/op %.2fx", d.FlushRatio)
+		}
+		if d.WrapRatio > 0 {
+			tails += fmt.Sprintf("  wraps/op %.2fx", d.WrapRatio)
 		}
 		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, tails, flag)
 	}

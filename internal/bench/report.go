@@ -31,6 +31,12 @@ type Metric struct {
 	// informational: the compare gate reports movement but never fails
 	// on it, since flush counts shift by design when batching changes.
 	FlushesPerOp float64 `json:"flushes_per_op,omitempty"`
+	// WrapsPerOp and BytesPerOp are key-wrap operations and wrapped-key
+	// bytes per revocation, from the membership sweep (revoke_membership
+	// experiment). Informational in the compare gate, like FlushesPerOp:
+	// wrap counts move by design when tree geometry changes.
+	WrapsPerOp float64 `json:"wraps_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
 }
 
 // LatencyMetric converts a histogram snapshot into a Metric: the mean

@@ -8,6 +8,7 @@ import (
 	"nexus"
 	"nexus/internal/backend"
 	"nexus/internal/cryptofs"
+	"nexus/internal/groupkey"
 	"nexus/internal/workload"
 )
 
@@ -113,6 +114,119 @@ func PrintRevocation(w io.Writer, rows []RevocationRow) {
 			fmtBytes(r.CryptoBytes), fmtDur(r.CryptoTime))
 	}
 	fmt.Fprintln(w)
+}
+
+// MembershipRow is one cell of the revocation membership sweep: the
+// cost of revoking one member at a given group size, under the subgroup
+// key tree ("tree") or the rotate-and-rewrap-everyone baseline
+// ("flat").
+type MembershipRow struct {
+	Mode       string
+	Members    int
+	WrapsPerOp float64
+	BytesPerOp float64
+	NsPerOp    float64
+}
+
+// MembershipSweep measures per-revocation wrap work across membership
+// sizes (the 10^3–10^6 sweep), driving the key structures directly:
+// the enclave's 64K user-table cap bounds end-to-end scale, and the
+// wrap counts are a property of the tree alone. mode selects "tree",
+// "flat", or "both"; runs distinct members are revoked per cell and
+// the costs averaged.
+func MembershipSweep(counts []int, mode string, runs int) ([]MembershipRow, error) {
+	switch mode {
+	case "tree", "flat", "both":
+	default:
+		return nil, fmt.Errorf("bench: unknown sweep mode %q (want tree|flat|both)", mode)
+	}
+	var rows []MembershipRow
+	for _, n := range counts {
+		if n < 4 {
+			return nil, fmt.Errorf("bench: sweep size %d too small", n)
+		}
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		if mode != "flat" {
+			tree, err := groupkey.NewTreeWithMembers(groupkey.Config{}, ids)
+			if err != nil {
+				return nil, err
+			}
+			row, err := sweepRevocations("tree", tree, ids, runs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		if mode != "tree" {
+			flat, err := groupkey.NewFlatWithMembers(ids)
+			if err != nil {
+				return nil, err
+			}
+			row, err := sweepRevocations("flat", flat, ids, runs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// sweepRevocations revokes `runs` distinct members spread across the
+// group and averages the metered wrap work.
+func sweepRevocations(mode string, g groupkey.Group, ids []uint32, runs int) (MembershipRow, error) {
+	n := len(ids)
+	if runs < 1 {
+		runs = 1
+	}
+	if runs > n/2 {
+		runs = n / 2
+	}
+	g.ResetStats()
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		victim := ids[(i*(n/runs)+n/2)%n]
+		if err := g.Revoke(victim); err != nil {
+			return MembershipRow{}, fmt.Errorf("bench: %s revoke at n=%d: %w", mode, n, err)
+		}
+	}
+	elapsed := time.Since(start)
+	st := g.Stats()
+	return MembershipRow{
+		Mode:       mode,
+		Members:    n,
+		WrapsPerOp: float64(st.Wraps) / float64(runs),
+		BytesPerOp: float64(st.WrapBytes) / float64(runs),
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(runs),
+	}, nil
+}
+
+// PrintMembership renders the membership sweep.
+func PrintMembership(w io.Writer, rows []MembershipRow) {
+	fmt.Fprintln(w, "§VII-E — Revocation vs membership size (per-revocation key-wrap work)")
+	fmt.Fprintf(w, "%-6s %10s %14s %14s %12s\n", "mode", "members", "wraps/op", "bytes/op", "time/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %10d %14.1f %14s %12s\n",
+			r.Mode, r.Members, r.WrapsPerOp, fmtBytes(int64(r.BytesPerOp)), fmtDur(time.Duration(r.NsPerOp)))
+	}
+	fmt.Fprintln(w)
+}
+
+// MembershipMetrics converts sweep rows into the revoke_membership
+// experiment for the JSON report.
+func MembershipMetrics(rows []MembershipRow) Experiment {
+	exp := make(Experiment)
+	for _, r := range rows {
+		exp[fmt.Sprintf("%s_%d_users", r.Mode, r.Members)] = Metric{
+			NsPerOp:    r.NsPerOp,
+			WrapsPerOp: r.WrapsPerOp,
+			BytesPerOp: r.BytesPerOp,
+		}
+	}
+	return exp
 }
 
 // SharingRow documents the §VII-F sharing costs.

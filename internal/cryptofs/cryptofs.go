@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"nexus/internal/backend"
+	"nexus/internal/groupkey"
 	"nexus/internal/obs"
 	"nexus/internal/parallel"
 	"nexus/internal/serial"
@@ -98,6 +99,19 @@ type FS struct {
 	users   map[string]*User // all participants, owner included; guarded by mu
 	workers int              // Revoke re-encryption fan-out; guarded by mu
 
+	// Group-key mode (SetGroupKeys): instead of wrapping each file key
+	// once per reader, the file key is wrapped once under the current
+	// root of a membership key tree, and Revoke rotates the evicted
+	// user's leaf-to-root path — O(log n) wraps plus one wrap per
+	// re-encrypted file, against the flat scheme's O(readers) per file.
+	// All guarded by mu.
+	groupKeys  bool
+	tree       *groupkey.Tree
+	ids        map[string]uint32 // user name → tree member ID
+	nextID     uint32
+	epochRoots map[uint64][]byte // epoch → tree root secret, for lazy reads
+	groupErr   error             // latched tree-maintenance failure
+
 	// writeback defers WriteFile's encrypt+upload into pending, drained
 	// at Sync, at Revoke, or on first read of a pending path (mirrors
 	// the enclave's write-back metadata mode); guarded by mu.
@@ -162,11 +176,16 @@ func New(store backend.Store, owner *User) *FS {
 // use; rebinding mid-flight loses in-window counts.
 func (fs *FS) SetObs(reg *obs.Registry) { fs.metrics.bind(reg) }
 
-// AddUser registers a participant.
+// AddUser registers a participant. With group keys enabled the user is
+// also enrolled into the membership tree so subsequent writes cover
+// them under the rotated root.
 func (fs *FS) AddUser(u *User) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.users[u.Name] = u
+	if fs.tree != nil {
+		fs.enrollLocked(u.Name)
+	}
 }
 
 // SetWriteback toggles deferred uploads: with it on, WriteFile buffers
@@ -323,7 +342,16 @@ func unwrapKeyFor(owner, user *User, wrapped []byte) ([]byte, error) {
 // for the named readers, and uploads both objects, folding the cost
 // meters into fs.stats; fs.mu is held.
 func (fs *FS) encryptAndStoreLocked(p string, data []byte, readers []string) error {
-	st, err := encryptAndStore(fs.store, fs.owner, fs.users, p, data, readers)
+	var st Stats
+	var err error
+	if fs.groupKeys && fs.tree != nil {
+		if fs.groupErr != nil {
+			return fs.groupErr
+		}
+		st, err = encryptAndStoreGroup(fs.store, fs.users, fs.currentRootLocked(), fs.tree.Epoch(), p, data, readers)
+	} else {
+		st, err = encryptAndStore(fs.store, fs.owner, fs.users, p, data, readers)
+	}
 	fs.metrics.add(st)
 	return err
 }
@@ -434,6 +462,9 @@ func (fs *FS) ReadFile(p string, user *User) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if gi := groupEntryIndex(readers); gi >= 0 {
+		return fs.readGroupLocked(p, user, readers, wrapped[gi])
+	}
 	var fileKey []byte
 	for i, name := range readers {
 		if name == user.Name {
@@ -498,7 +529,18 @@ func (fs *FS) Readers(p string) ([]string, error) {
 		return nil, err
 	}
 	readers, _, err := decodeKeyBlock(keysBlob)
-	return readers, err
+	if err != nil {
+		return nil, err
+	}
+	// The "@group" pseudo-entry carries the tree-wrapped key, not a
+	// participant.
+	out := readers[:0]
+	for _, name := range readers {
+		if name != groupReader {
+			out = append(out, name)
+		}
+	}
+	return out, nil
 }
 
 // Revoke removes a user's access to every file in paths. This is the
@@ -526,6 +568,9 @@ func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
 		fs.metrics.revokeLat.Record(time.Since(start))
 		span.End()
 	}()
+	if fs.groupKeys && fs.tree != nil {
+		return fs.revokeGroupLocked(revoked, paths)
+	}
 	perPath := make([]Stats, len(paths))
 	var total Stats
 	err := parallel.Ranges(len(paths), fs.workers, func(lo, hi int) error {
@@ -585,6 +630,11 @@ func (fs *FS) Revoke(revoked string, paths []string) (Stats, error) {
 func (fs *FS) ReadFileAsOwnerLocked(p string) ([]byte, error) {
 	if err := fs.flushPendingLocked(p); err != nil {
 		return nil, err
+	}
+	if fs.tree != nil {
+		if pt, ok, err := readFileGroup(fs.store, fs.epochRoots, p); ok || err != nil {
+			return pt, err
+		}
 	}
 	return readFileAsOwner(fs.store, fs.owner, p)
 }

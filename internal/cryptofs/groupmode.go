@@ -1,0 +1,391 @@
+package cryptofs
+
+// Group-key mode: the hybrid scheme the NEXUS revocation experiment
+// contrasts with per-reader wrapping (DSN'19 §VII-E; cf. IBBE-SGX and
+// LKH). A membership key tree (internal/groupkey) covers every
+// participant; each file key is wrapped ONCE under the tree's current
+// root instead of once per reader. Revocation then costs one O(log n)
+// path rotation plus, per affected file, a full content re-encryption
+// and a SINGLE key wrap — against the flat scheme's wrap-per-remaining-
+// reader on every file.
+//
+// Files written at earlier epochs stay readable without eager
+// re-encryption: the filesystem keeps a root-secret history keyed by
+// epoch (epochRoots), standing in for the path-unwrap chain a real
+// member would run. Evicted users fail the membership check regardless
+// of epoch; the files they could have cached keys for are exactly the
+// `paths` handed to Revoke, which re-encrypts them under the rotated
+// root.
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"nexus/internal/backend"
+	"nexus/internal/groupkey"
+	"nexus/internal/parallel"
+	"nexus/internal/serial"
+)
+
+// groupReader is the key-block pseudo-entry that carries the
+// tree-wrapped file key. Real participant names never collide with it:
+// the block's other entries hold the reader list with empty wraps.
+const groupReader = "@group"
+
+// ErrGroupMode reports a group-mode operation on a filesystem whose
+// membership tree is unavailable or broken.
+var ErrGroupMode = errors.New("cryptofs: group-key mode unavailable")
+
+// SetGroupKeys toggles group-key mode. Enabling it builds the
+// membership tree over every registered user (first enable only; the
+// tree persists across toggles so previously written group files stay
+// readable). Call before the writes it should cover.
+func (fs *FS) SetGroupKeys(on bool) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !on {
+		fs.groupKeys = false
+		return nil
+	}
+	if fs.tree == nil {
+		fs.tree = groupkey.NewTree(groupkey.Config{})
+		fs.ids = make(map[string]uint32)
+		fs.epochRoots = make(map[uint64][]byte)
+		names := make([]string, 0, len(fs.users))
+		for name := range fs.users {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fs.enrollLocked(name)
+		}
+	}
+	if fs.groupErr != nil {
+		return fs.groupErr
+	}
+	fs.groupKeys = true
+	return nil
+}
+
+// enrollLocked adds a user to the membership tree under a fresh member
+// ID and snapshots the rotated root. Failures (entropy exhaustion —
+// effectively unreachable) latch into fs.groupErr, failing subsequent
+// group operations fast; fs.mu is held.
+func (fs *FS) enrollLocked(name string) {
+	if fs.groupErr != nil {
+		return
+	}
+	if _, ok := fs.ids[name]; ok {
+		return
+	}
+	id := fs.nextID
+	fs.nextID++
+	if _, err := fs.tree.Add(id); err != nil {
+		fs.groupErr = fmt.Errorf("%w: enrolling %q: %v", ErrGroupMode, name, err)
+		return
+	}
+	fs.ids[name] = id
+	fs.snapshotRootLocked()
+}
+
+// snapshotRootLocked records the current epoch's root secret so files
+// wrapped at this epoch stay readable after later rotations; fs.mu is
+// held.
+func (fs *FS) snapshotRootLocked() {
+	fs.epochRoots[fs.tree.Epoch()] = append([]byte(nil), fs.tree.RootSecret()...)
+}
+
+// currentRootLocked returns the current epoch's root secret; fs.mu is
+// held.
+func (fs *FS) currentRootLocked() []byte {
+	return fs.epochRoots[fs.tree.Epoch()]
+}
+
+// groupEntryIndex finds the "@group" pseudo-entry in a decoded key
+// block, or -1 for a flat per-reader block.
+func groupEntryIndex(readers []string) int {
+	for i, name := range readers {
+		if name == groupReader {
+			return i
+		}
+	}
+	return -1
+}
+
+// groupAAD binds a group wrap to its epoch.
+func groupAAD(epoch uint64) []byte {
+	aad := make([]byte, 8+8)
+	copy(aad, "cfsgroup")
+	binary.BigEndian.PutUint64(aad[8:], epoch)
+	return aad
+}
+
+// sealGroupKey wraps a file key under an epoch root:
+// epoch(8B) ‖ nonce(12B) ‖ GCM(fileKey).
+func sealGroupKey(secret []byte, epoch uint64, fileKey []byte) ([]byte, error) {
+	block, err := aes.NewCipher(secret)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, 8, 8+12+len(fileKey)+gcm.Overhead())
+	binary.BigEndian.PutUint64(blob, epoch)
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	blob = append(blob, nonce...)
+	return gcm.Seal(blob, nonce, fileKey, groupAAD(epoch)), nil
+}
+
+// openGroupKey recovers a file key from a group wrap using the
+// root-secret history.
+func openGroupKey(roots map[uint64][]byte, blob []byte) ([]byte, error) {
+	if len(blob) < 8+12 {
+		return nil, fmt.Errorf("%w: truncated group wrap", ErrNoAccess)
+	}
+	epoch := binary.BigEndian.Uint64(blob)
+	secret, ok := roots[epoch]
+	if !ok {
+		return nil, fmt.Errorf("%w: no path to epoch %d root", ErrNoAccess, epoch)
+	}
+	block, err := aes.NewCipher(secret)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	fileKey, err := gcm.Open(nil, blob[8:20], blob[20:], groupAAD(epoch))
+	if err != nil {
+		return nil, fmt.Errorf("%w: group unwrap failed", ErrNoAccess)
+	}
+	return fileKey, nil
+}
+
+// encryptAndStoreGroup is the group-mode write core: fresh file key,
+// full content encryption, ONE wrap under the epoch root. The reader
+// list is recorded with empty wraps purely for access checks — no
+// per-reader cryptography. Lock-free like encryptAndStore, so Revoke
+// fans it out under a frozen fs.mu.
+func encryptAndStoreGroup(store backend.Store, users map[string]*User, secret []byte, epoch uint64, p string, data []byte, readers []string) (Stats, error) {
+	var st Stats
+	fileKey := make([]byte, 32)
+	if _, err := rand.Read(fileKey); err != nil {
+		return st, err
+	}
+	block, err := aes.NewCipher(fileKey)
+	if err != nil {
+		return st, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return st, err
+	}
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return st, err
+	}
+	ct := gcm.Seal(nonce, nonce, data, nil)
+	st.BytesReencrypted += int64(len(data))
+
+	sort.Strings(readers)
+	w := serial.NewWriter(32*len(readers) + 96)
+	w.WriteUint32(uint32(len(readers) + 1))
+	for _, name := range readers {
+		if _, ok := users[name]; !ok {
+			return st, fmt.Errorf("%w: %s", ErrUnknownUser, name)
+		}
+		w.WriteString(name)
+		w.WriteBytes(nil)
+	}
+	wrapped, err := sealGroupKey(secret, epoch, fileKey)
+	if err != nil {
+		return st, err
+	}
+	st.KeyWraps++
+	w.WriteString(groupReader)
+	w.WriteBytes(wrapped)
+
+	// Same fail-closed ordering as the flat core: ciphertext before key
+	// block, so a torn update reads as corrupt, never as stale access.
+	if err := store.Put(dataName(p), ct); err != nil {
+		if backend.IsUnavailable(err) {
+			return st, fmt.Errorf("cryptofs: uploading ciphertext for %s: %w", p, err)
+		}
+		return st, err
+	}
+	if err := store.Put(keysName(p), w.Bytes()); err != nil {
+		if backend.IsUnavailable(err) {
+			return st, fmt.Errorf("cryptofs: uploading key block for %s (ciphertext already replaced; old keys cannot decrypt it): %w", p, err)
+		}
+		return st, err
+	}
+	st.BytesUploaded += int64(len(ct) + w.Len())
+	st.FilesTouched++
+	return st, nil
+}
+
+// readGroupLocked serves ReadFile for a group-wrapped file: the user
+// must be on the file's reader list AND a current member of the tree
+// (an evicted member cannot derive any epoch root); fs.mu is held.
+func (fs *FS) readGroupLocked(p string, user *User, readers []string, blob []byte) ([]byte, error) {
+	listed := false
+	for _, name := range readers {
+		if name == user.Name {
+			listed = true
+			break
+		}
+	}
+	if !listed {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoAccess, user.Name, p)
+	}
+	if fs.tree == nil {
+		return nil, fmt.Errorf("%w: group-wrapped file %s without a membership tree", ErrGroupMode, p)
+	}
+	id, ok := fs.ids[user.Name]
+	if !ok || !fs.tree.Contains(id) {
+		return nil, fmt.Errorf("%w: %s is not a tree member", ErrNoAccess, user.Name)
+	}
+	fileKey, err := openGroupKey(fs.epochRoots, blob)
+	if err != nil {
+		return nil, err
+	}
+	return openData(fs.store, p, fileKey)
+}
+
+// openData fetches and decrypts a file's ciphertext under its file key.
+func openData(store backend.Store, p string, fileKey []byte) ([]byte, error) {
+	ct, err := store.Get(dataName(p))
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) < 12 {
+		return nil, fmt.Errorf("cryptofs: truncated ciphertext")
+	}
+	pt, err := gcm.Open(nil, ct[:12], ct[12:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("cryptofs: decryption failed: %w", err)
+	}
+	return pt, nil
+}
+
+// readFileGroup is the lock-free group read core for Revoke's fan-out
+// and owner reads. ok=false reports a flat per-reader key block the
+// caller should handle pairwise.
+func readFileGroup(store backend.Store, roots map[uint64][]byte, p string) (pt []byte, ok bool, err error) {
+	keysBlob, err := store.Get(keysName(p))
+	if err != nil {
+		return nil, false, err
+	}
+	readers, wrapped, err := decodeKeyBlock(keysBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	gi := groupEntryIndex(readers)
+	if gi < 0 {
+		return nil, false, nil
+	}
+	fileKey, err := openGroupKey(roots, wrapped[gi])
+	if err != nil {
+		return nil, true, err
+	}
+	pt, err = openData(store, p, fileKey)
+	return pt, true, err
+}
+
+// revokeGroupLocked is Revoke's group-mode sweep: one path rotation
+// (O(log n) wraps), then each affected file re-encrypts under a fresh
+// key wrapped ONCE under the rotated root. Flat-format files caught in
+// the sweep (written before the mode was enabled) convert to group
+// format. fs.mu is held throughout, freezing the tree, the root
+// history and the user table under the workers.
+func (fs *FS) revokeGroupLocked(revoked string, paths []string) (Stats, error) {
+	if fs.groupErr != nil {
+		return Stats{}, fs.groupErr
+	}
+	var total Stats
+	if id, ok := fs.ids[revoked]; ok && fs.tree.Contains(id) {
+		before := fs.tree.Stats()
+		if err := fs.tree.Revoke(id); err != nil {
+			return Stats{}, fmt.Errorf("%w: rotating out %q: %v", ErrGroupMode, revoked, err)
+		}
+		delete(fs.ids, revoked)
+		total.KeyWraps += fs.tree.Stats().Wraps - before.Wraps
+		fs.snapshotRootLocked()
+	}
+	secret := fs.currentRootLocked()
+	epoch := fs.tree.Epoch()
+	perPath := make([]Stats, len(paths))
+	err := parallel.Ranges(len(paths), fs.workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			p := paths[i]
+			keysBlob, err := fs.store.Get(keysName(p))
+			if errors.Is(err, backend.ErrNotExist) {
+				return fmt.Errorf("%w: %s", ErrNotFound, p)
+			}
+			if err != nil {
+				return err
+			}
+			readers, _, err := decodeKeyBlock(keysBlob)
+			if err != nil {
+				return err
+			}
+			hadAccess := false
+			var remaining []string
+			for _, name := range readers {
+				switch name {
+				case groupReader:
+				case revoked:
+					hadAccess = true
+				default:
+					remaining = append(remaining, name)
+				}
+			}
+			if !hadAccess {
+				continue // nothing cached by the revoked user
+			}
+			pt, wasGroup, err := readFileGroup(fs.store, fs.epochRoots, p)
+			if err != nil {
+				return err
+			}
+			if !wasGroup {
+				pt, err = readFileAsOwner(fs.store, fs.owner, p)
+				if err != nil {
+					return err
+				}
+			}
+			st, err := encryptAndStoreGroup(fs.store, fs.users, secret, epoch, p, pt, remaining)
+			if err != nil {
+				return err
+			}
+			perPath[i] = st
+		}
+		return nil
+	})
+	for _, st := range perPath {
+		total.add(st)
+	}
+	fs.metrics.add(total)
+	if err != nil {
+		return Stats{}, err
+	}
+	return total, nil
+}

@@ -125,6 +125,13 @@ type Config struct {
 	// WritebackMaxBytes caps the estimated batched metadata bytes before
 	// the dirty set drains inline (default 4 MiB; write-back mode only).
 	WritebackMaxBytes int64
+	// DisableGroupKeys turns off the membership key tree: AddUser skips
+	// subgroup enrollment, RemoveUser skips the path rotation, and group
+	// ACL entries stop resolving. The default (false) maintains the tree
+	// for every volume this enclave administers; volumes created while
+	// the knob was off migrate lazily on the next AddUser. See
+	// internal/groupkey and DESIGN.md §13.
+	DisableGroupKeys bool
 	// Obs is the observability registry the enclave (and its SGX
 	// container) meters into. Optional; a private registry is created
 	// when nil. Share one registry across the stack (vfs → enclave →
@@ -216,6 +223,9 @@ type enclaveMetrics struct {
 	metadataDirty     *obs.Counter // enclave_metadata_dirty_total
 	flushBatches      *obs.Counter // enclave_flush_batches_total
 	dirtyGauge        *obs.Gauge   // enclave_metadata_dirty
+	groupWraps        *obs.Counter // enclave_groupkey_wraps_total
+	groupWrapBytes    *obs.Counter // enclave_groupkey_wrap_bytes_total
+	groupUnwraps      *obs.Counter // enclave_groupkey_unwraps_total
 
 	// metaIO and dataIO meter the two ocall classes of the Table 5a/5b
 	// breakdowns (metadata fetch/store/lock vs encrypted file content).
@@ -246,6 +256,9 @@ func (m *enclaveMetrics) bind(reg *obs.Registry) {
 	m.metadataDirty = reg.Counter("enclave_metadata_dirty_total")
 	m.flushBatches = reg.Counter("enclave_flush_batches_total")
 	m.dirtyGauge = reg.Gauge("enclave_metadata_dirty")
+	m.groupWraps = reg.Counter("enclave_groupkey_wraps_total")
+	m.groupWrapBytes = reg.Counter("enclave_groupkey_wrap_bytes_total")
+	m.groupUnwraps = reg.Counter("enclave_groupkey_unwraps_total")
 	m.metaIO = ocallMeter{ns: reg.Counter("enclave_metadata_io_ns_total"), lat: reg.Histogram("enclave_metadata_io_seconds")}
 	m.dataIO = ocallMeter{ns: reg.Counter("enclave_data_io_ns_total"), lat: reg.Histogram("enclave_data_io_seconds")}
 	m.tracer = reg.Tracer()
@@ -340,6 +353,9 @@ func (e *Enclave) ResetStats() {
 	m.dataIO.lat.Reset()
 	m.metadataDirty.Reset()
 	m.flushBatches.Reset()
+	m.groupWraps.Reset()
+	m.groupWrapBytes.Reset()
+	m.groupUnwraps.Reset()
 	e.sgx.ResetStats()
 }
 
@@ -386,6 +402,15 @@ func (e *Enclave) CreateVolume(ownerName string, ownerKey ed25519.PublicKey) (se
 
 		e.rootKey = rootKey
 		e.super = super
+		if !e.cfg.DisableGroupKeys {
+			// Fresh volumes start with the membership key tree in place
+			// (owner enrolled); legacy volumes migrate on first AddUser.
+			if _, err := e.ensureGroupTreeLocked(); err != nil {
+				e.rootKey = nil
+				e.super = nil
+				return err
+			}
+		}
 
 		// Root dirnode: parent pointer binds it to the supernode.
 		root := metadata.NewDirnode(super.RootDir, super.VolumeUUID, e.cfg.BucketSize)
@@ -489,6 +514,12 @@ func (e *Enclave) CompleteAuth(signature []byte) error {
 		if !ed25519.Verify(userKey, msg, signature) {
 			return fmt.Errorf("%w: challenge signature invalid", ErrBadAuth)
 		}
+		// (iii) members of the key tree must additionally hold a wrap
+		// chain reaching the current root — a revoked-then-stale client
+		// fails here even if its table entry were somehow replayed.
+		if err := e.groupAuthenticateLocked(user.ID); err != nil {
+			return err
+		}
 		e.user = user
 		e.authed = true
 		return nil
@@ -544,7 +575,19 @@ func (e *Enclave) AddUser(name string, key ed25519.PublicKey) (userID uint32, er
 			if err != nil {
 				return err
 			}
-			return e.flushSupernodeLocked()
+			if err := e.groupAddLocked(userID); err != nil {
+				// Keep the in-memory table consistent with the store:
+				// nothing has been flushed yet, so undo the table entry.
+				//lint:ignore unchecked-crypto-error rollback of an unflushed add
+				_, _ = e.super.RemoveUser(name)
+				return err
+			}
+			if err := e.markSupernodeDirtyLocked(); err != nil {
+				return err
+			}
+			// Write-back: the enrollment's path rotation rides the batch
+			// drain, flushed while the supernode lock is still held.
+			return e.drainWithRetryLocked()
 		})
 	})
 	if err != nil {
@@ -570,10 +613,19 @@ func (e *Enclave) RemoveUser(name string) error {
 			return err
 		}
 		return e.withSupernodeLockLocked(func() error {
-			if _, err := e.super.RemoveUser(name); err != nil {
+			removedID, err := e.super.RemoveUser(name)
+			if err != nil {
 				return err
 			}
-			return e.flushSupernodeLocked()
+			// O(log n) path rotation: only the evicted user's leaf-to-root
+			// keys are re-wrapped; file data is untouched (§VII-E).
+			if err := e.groupRevokeLocked(removedID); err != nil {
+				return err
+			}
+			if err := e.markSupernodeDirtyLocked(); err != nil {
+				return err
+			}
+			return e.drainWithRetryLocked()
 		})
 	})
 }

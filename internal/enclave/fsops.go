@@ -106,14 +106,20 @@ func (e *Enclave) walkDirLocked(dirs []string) (walkResult, error) {
 }
 
 // checkACLLocked enforces the directory's ACL for the authenticated user
-// (default deny, owner override; §IV-C).
+// (default deny, owner override; §IV-C). Group entries resolve through
+// the membership key tree: a grant to the user's leaf subgroup counts
+// toward the requested rights.
 func (e *Enclave) checkACLLocked(d *metadata.Dirnode, want acl.Rights) error {
-	decision, ok := d.ACL.Check(e.user.ID, e.isOwnerLocked(), want)
-	if !ok {
-		return fmt.Errorf("%w: user %q needs %s on directory, has %s",
-			ErrAccessDenied, e.user.Name, decision.Want, decision.Have)
+	var groups []uint32
+	if tree := e.groupTreeLocked(); tree != nil {
+		groups = tree.GroupsOf(e.user.ID)
 	}
-	return nil
+	if d.ACL.CheckGroups(e.user.ID, e.isOwnerLocked(), groups, want) {
+		return nil
+	}
+	have := d.ACL.ResolveRights(e.user.ID, groups)
+	return fmt.Errorf("%w: user %q needs %s on directory, has %s",
+		ErrAccessDenied, e.user.Name, want, have)
 }
 
 // reloadDirUnderLockLocked re-resolves a directory after its store lock
@@ -993,15 +999,10 @@ func (e *Enclave) GetACL(dirPath string) (map[string]acl.Rights, error) {
 		}
 		for _, entry := range w.dir.ACL.Entries() {
 			name := fmt.Sprintf("uid:%d", entry.UserID)
-			if entry.UserID == metadata.OwnerUserID {
-				name = e.super.Owner.Name
-			} else {
-				for _, u := range e.super.Users {
-					if u.ID == entry.UserID {
-						name = u.Name
-						break
-					}
-				}
+			if acl.IsGroupEntry(entry.UserID) {
+				name = fmt.Sprintf("group:%d", acl.GroupLeaf(entry.UserID))
+			} else if u, err := e.super.FindUserByID(entry.UserID); err == nil {
+				name = u.Name
 			}
 			out[name] = entry.Rights
 		}

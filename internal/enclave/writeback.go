@@ -121,6 +121,12 @@ type dirtySet struct {
 	ops      int
 	bytes    int64
 	pressure bool
+
+	// superDirty marks a pending supernode mutation (user table or
+	// membership key tree rotation). It is only ever set by the
+	// admin operations, which drain before releasing the supernode
+	// store lock, so the flush below always runs under that lock.
+	superDirty bool
 }
 
 func newDirtySet(maxOps int, maxBytes int64) *dirtySet {
@@ -289,7 +295,7 @@ func (e *Enclave) drainWithRetryLocked() error {
 // rewrites the freshness table once. On failure the un-flushed portion
 // of the set is left intact for retry.
 func (e *Enclave) drainLocked() error {
-	if e.wb == nil || (len(e.wb.nodes) == 0 && len(e.wb.deletes) == 0) {
+	if e.wb == nil || (len(e.wb.nodes) == 0 && len(e.wb.deletes) == 0 && !e.wb.superDirty) {
 		return nil
 	}
 	span := e.metrics.tracer.Begin("enclave.flush_batch")
@@ -302,6 +308,15 @@ func (e *Enclave) drainLocked() error {
 	// in freshSink; the table is rewritten once below.
 	e.freshSink = make(map[uuid.UUID]uint64)
 	err := e.flushDirtyNodesLocked()
+	if err == nil && e.wb.superDirty {
+		// Final stage: the supernode (user-table changes and key-tree
+		// rotations) flushes after every child object it could
+		// reference, under the supernode store lock the admin operation
+		// is still holding.
+		if err = e.flushSupernodeLocked(); err == nil {
+			e.wb.superDirty = false
+		}
+	}
 	updates := e.freshSink
 	e.freshSink = nil
 	if err != nil {

@@ -1,0 +1,167 @@
+package groupkey
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+)
+
+// Group is the membership-keying contract shared by the subgroup key
+// tree and the flat-list baseline, letting the benchmark sweep and the
+// property-test oracle swap implementations behind one knob.
+type Group interface {
+	Add(userID uint32) ([]byte, error)
+	Revoke(userID uint32) error
+	Contains(userID uint32) bool
+	Len() int
+	Epoch() uint64
+	RootSecret() []byte
+	MemberRoot(userID uint32) ([]byte, error)
+	Authenticate(userID uint32) error
+	Stats() Stats
+	ResetStats()
+}
+
+var (
+	_ Group = (*Tree)(nil)
+	_ Group = (*Flat)(nil)
+)
+
+// Flat is the pre-tree baseline: one group key wrapped individually for
+// every member. It keeps the tree's epoch semantics — every membership
+// change rotates the group key, so a revoked member's captures go
+// stale — but pays O(n) wraps per change, which is exactly the curve
+// the membership sweep contrasts against.
+type Flat struct {
+	epoch   uint64
+	members map[uint32]*member // wrap = group key wrapped under secret
+	groupK  []byte
+	stats   Stats
+}
+
+// NewFlat creates an empty flat-list group.
+func NewFlat() *Flat {
+	return &Flat{members: make(map[uint32]*member)}
+}
+
+// Len returns the number of members.
+func (f *Flat) Len() int { return len(f.members) }
+
+// Epoch returns the rotation epoch.
+func (f *Flat) Epoch() uint64 { return f.epoch }
+
+// Contains reports membership.
+func (f *Flat) Contains(userID uint32) bool {
+	_, ok := f.members[userID]
+	return ok
+}
+
+// Stats returns the cumulative meters.
+func (f *Flat) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the meters.
+func (f *Flat) ResetStats() { f.stats = Stats{} }
+
+// RootSecret returns the current group key.
+func (f *Flat) RootSecret() []byte {
+	return bytes.Clone(f.groupK)
+}
+
+// Add enrolls a user: fresh member secret, then a full rotation so the
+// newcomer cannot read pre-join ciphertexts.
+func (f *Flat) Add(userID uint32) ([]byte, error) {
+	if f.Contains(userID) {
+		return nil, fmt.Errorf("%w: user %d", ErrMemberExists, userID)
+	}
+	secret := make([]byte, KeySize)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("groupkey: generating member secret: %w", err)
+	}
+	f.members[userID] = &member{id: userID, secret: secret}
+	if err := f.rotate(); err != nil {
+		return nil, err
+	}
+	f.epoch++
+	return bytes.Clone(secret), nil
+}
+
+// Revoke evicts a user and rotates the group key, re-wrapping it for
+// every remaining member — the O(n) cost the tree amortizes away.
+func (f *Flat) Revoke(userID uint32) error {
+	if !f.Contains(userID) {
+		return fmt.Errorf("%w: user %d", ErrUnknownMember, userID)
+	}
+	delete(f.members, userID)
+	if err := f.rotate(); err != nil {
+		return err
+	}
+	f.epoch++
+	return nil
+}
+
+// MemberRoot recovers the group key from the member's wrap — one
+// unwrap, the flat list's only advantage.
+func (f *Flat) MemberRoot(userID uint32) ([]byte, error) {
+	m, ok := f.members[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: user %d", ErrUnknownMember, userID)
+	}
+	root, err := unwrapWith(m.secret, m.wrap, wrapAAD(0, 0, m.id))
+	if err != nil {
+		return nil, err
+	}
+	f.stats.Unwraps++
+	return root, nil
+}
+
+// Authenticate verifies the member's wrap opens to the current key.
+func (f *Flat) Authenticate(userID uint32) error {
+	root, err := f.MemberRoot(userID)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(root, f.groupK) {
+		return fmt.Errorf("%w: stale wrap for user %d", ErrUnwrap, userID)
+	}
+	return nil
+}
+
+// NewFlatWithMembers bulk-builds a flat group (one rotation total), the
+// counterpart of NewTreeWithMembers for the benchmark sweep.
+func NewFlatWithMembers(userIDs []uint32) (*Flat, error) {
+	f := NewFlat()
+	pool := make([]byte, len(userIDs)*KeySize)
+	if _, err := rand.Read(pool); err != nil {
+		return nil, fmt.Errorf("groupkey: generating bulk key material: %w", err)
+	}
+	for i, id := range userIDs {
+		if f.Contains(id) {
+			return nil, fmt.Errorf("%w: user %d", ErrMemberExists, id)
+		}
+		f.members[id] = &member{id: id, secret: pool[i*KeySize : (i+1)*KeySize : (i+1)*KeySize]}
+	}
+	if err := f.rotate(); err != nil {
+		return nil, err
+	}
+	f.epoch = 1
+	return f, nil
+}
+
+// rotate draws a fresh group key and re-wraps it for every member.
+func (f *Flat) rotate() error {
+	groupK := make([]byte, KeySize)
+	if _, err := rand.Read(groupK); err != nil {
+		return fmt.Errorf("groupkey: rotating group key: %w", err)
+	}
+	f.groupK = groupK
+	for _, m := range f.members {
+		w, err := wrapWith(m.secret, groupK, wrapAAD(0, 0, m.id))
+		if err != nil {
+			return err
+		}
+		m.wrap = w
+		f.stats.Wraps++
+		f.stats.WrapBytes += int64(len(w))
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package groupkey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGroupTreeDecode hammers the tree's serial decoder with hostile
+// bytes: it must never panic, and whenever it accepts an input the
+// decoded tree must re-encode to the identical bytes (canonical form)
+// and remain structurally usable. The seed corpus covers an empty tree,
+// a populated multi-level tree, and a post-churn tree.
+func FuzzGroupTreeDecode(f *testing.F) {
+	f.Add([]byte{})
+	empty := NewTree(Config{LeafCap: 2, Fanout: 2})
+	f.Add(empty.Encode())
+	tr := NewTree(Config{LeafCap: 2, Fanout: 2})
+	for id := uint32(1); id <= 9; id++ {
+		if _, err := tr.Add(id); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(tr.Encode())
+	if err := tr.Revoke(4); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := tr.Add(40); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tr.Encode())
+	// Truncations and bit-flips of a valid encoding seed the mutator
+	// near the interesting boundaries.
+	enc := tr.Encode()
+	f.Add(enc[:len(enc)/3])
+	flipped := bytes.Clone(enc)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeTree(data)
+		if err != nil {
+			return
+		}
+		re := got.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical: %d in, %d out", len(data), len(re))
+		}
+		// Decoded state must be safe to operate on.
+		for _, ms := range got.leaves {
+			for _, m := range ms {
+				_, _ = got.MemberRoot(m.id)
+			}
+		}
+		if got.Len() > 0 {
+			_ = got.RootSecret()
+		}
+		round, err := DecodeTree(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		if round.Len() != got.Len() || round.Epoch() != got.Epoch() {
+			t.Fatal("re-decode changed tree shape")
+		}
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 
+	"nexus/internal/acl"
+	"nexus/internal/groupkey"
 	"nexus/internal/serial"
 	"nexus/internal/uuid"
 )
@@ -16,6 +18,11 @@ const OwnerUserID uint32 = 1
 
 // maxUsers bounds the supernode user table.
 const maxUsers = 64 << 10
+
+// supernodeExtGroupTree tags the optional trailing extension carrying a
+// serialized membership key tree. Pre-groupkey supernode bodies simply
+// end after NextUserID; the tag keeps future extensions distinguishable.
+const supernodeExtGroupTree uint8 = 1
 
 // User binds a username and public key to the small integer ID that
 // dirnode ACLs reference (DSN'19 §IV-C).
@@ -40,6 +47,19 @@ type Supernode struct {
 	Users []User
 	// NextUserID is the next ID to assign.
 	NextUserID uint32
+	// GroupTree is the subgroup key tree over the volume membership
+	// (nil on volumes created before the tree existed, or when the
+	// group-key knob is off). It serializes as a versioned trailing
+	// extension so old volumes load unchanged.
+	GroupTree *groupkey.Tree
+
+	// byName, byPubKey and byID index Users by name, string(PublicKey)
+	// and ID to slice positions. They are built lazily (nil until the
+	// first lookup after a mutation or decode) so direct struct literals
+	// in existing callers and tests keep working.
+	byName   map[string]int
+	byPubKey map[string]int
+	byID     map[uint32]int
 }
 
 // Supernode errors.
@@ -48,6 +68,9 @@ var (
 	ErrUserExists = errors.New("metadata: user already present in supernode")
 	// ErrUserNotFound reports a lookup of an unknown user.
 	ErrUserNotFound = errors.New("metadata: user not found in supernode")
+	// ErrUserTableFull reports that the supernode user table is at
+	// maxUsers capacity.
+	ErrUserTableFull = errors.New("metadata: supernode user table full")
 )
 
 // NewSupernode creates the supernode for a fresh volume owned by the
@@ -71,8 +94,33 @@ func NewSupernode(ownerName string, ownerKey ed25519.PublicKey) (*Supernode, err
 	}, nil
 }
 
+// ensureIndex builds the lazy lookup maps. Mutations invalidate by
+// setting them nil; the next lookup rebuilds in one O(n) pass, after
+// which FindUserByName/FindUserByKey are O(1).
+func (s *Supernode) ensureIndex() {
+	if s.byName != nil {
+		return
+	}
+	s.byName = make(map[string]int, len(s.Users))
+	s.byPubKey = make(map[string]int, len(s.Users))
+	s.byID = make(map[uint32]int, len(s.Users))
+	for i, u := range s.Users {
+		s.byName[u.Name] = i
+		s.byPubKey[string(u.PublicKey)] = i
+		s.byID[u.ID] = i
+	}
+}
+
+func (s *Supernode) invalidateIndex() {
+	s.byName = nil
+	s.byPubKey = nil
+	s.byID = nil
+}
+
 // AddUser grants a new identity access to the volume and returns its
-// assigned user ID. Usernames and keys must be unique.
+// assigned user ID. Usernames and keys must be unique, the table is
+// capped at maxUsers, and assigned IDs stay below acl.GroupIDFlag so
+// dirnode ACL entries can carry group grants in the high bit.
 func (s *Supernode) AddUser(name string, key ed25519.PublicKey) (uint32, error) {
 	if name == "" {
 		return 0, fmt.Errorf("metadata: username must not be empty")
@@ -83,15 +131,39 @@ func (s *Supernode) AddUser(name string, key ed25519.PublicKey) (uint32, error) 
 	if s.Owner.Name == name || bytes.Equal(s.Owner.PublicKey, key) {
 		return 0, fmt.Errorf("%w: %s (owner)", ErrUserExists, name)
 	}
-	for _, u := range s.Users {
-		if u.Name == name || bytes.Equal(u.PublicKey, key) {
-			return 0, fmt.Errorf("%w: %s", ErrUserExists, name)
-		}
+	if len(s.Users) >= maxUsers-1 { // the owner occupies one slot
+		return 0, fmt.Errorf("%w: %d users", ErrUserTableFull, maxUsers)
+	}
+	s.ensureIndex()
+	if _, ok := s.byName[name]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrUserExists, name)
+	}
+	if _, ok := s.byPubKey[string(key)]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrUserExists, name)
+	}
+	if s.NextUserID >= acl.GroupIDFlag {
+		return 0, fmt.Errorf("metadata: user ID space exhausted")
 	}
 	id := s.NextUserID
 	s.NextUserID++
+	s.byName[name] = len(s.Users)
+	s.byPubKey[string(key)] = len(s.Users)
+	s.byID[id] = len(s.Users)
 	s.Users = append(s.Users, User{ID: id, Name: name, PublicKey: bytes.Clone(key)})
 	return id, nil
+}
+
+// FindUserByID returns the user entry with the given ID, including the
+// owner. O(1) via the lazy index.
+func (s *Supernode) FindUserByID(id uint32) (User, error) {
+	if id == s.Owner.ID {
+		return s.Owner, nil
+	}
+	s.ensureIndex()
+	if i, ok := s.byID[id]; ok {
+		return s.Users[i], nil
+	}
+	return User{}, fmt.Errorf("%w: id %d", ErrUserNotFound, id)
 }
 
 // RemoveUser revokes a user by name, returning their former ID. The
@@ -100,39 +172,39 @@ func (s *Supernode) RemoveUser(name string) (uint32, error) {
 	if name == s.Owner.Name {
 		return 0, fmt.Errorf("metadata: the volume owner cannot be removed")
 	}
-	for i, u := range s.Users {
-		if u.Name == name {
-			s.Users = append(s.Users[:i], s.Users[i+1:]...)
-			return u.ID, nil
-		}
+	s.ensureIndex()
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUserNotFound, name)
 	}
-	return 0, fmt.Errorf("%w: %s", ErrUserNotFound, name)
+	id := s.Users[i].ID
+	s.Users = append(s.Users[:i], s.Users[i+1:]...)
+	s.invalidateIndex() // positions after i shifted
+	return id, nil
 }
 
 // FindUserByKey returns the user entry whose public key matches,
-// including the owner.
+// including the owner. O(1) via the lazy index.
 func (s *Supernode) FindUserByKey(key ed25519.PublicKey) (User, error) {
 	if bytes.Equal(s.Owner.PublicKey, key) {
 		return s.Owner, nil
 	}
-	for _, u := range s.Users {
-		if bytes.Equal(u.PublicKey, key) {
-			return u, nil
-		}
+	s.ensureIndex()
+	if i, ok := s.byPubKey[string(key)]; ok {
+		return s.Users[i], nil
 	}
 	return User{}, fmt.Errorf("%w: by public key", ErrUserNotFound)
 }
 
 // FindUserByName returns the user entry with the given name, including
-// the owner.
+// the owner. O(1) via the lazy index.
 func (s *Supernode) FindUserByName(name string) (User, error) {
 	if s.Owner.Name == name {
 		return s.Owner, nil
 	}
-	for _, u := range s.Users {
-		if u.Name == name {
-			return u, nil
-		}
+	s.ensureIndex()
+	if i, ok := s.byName[name]; ok {
+		return s.Users[i], nil
 	}
 	return User{}, fmt.Errorf("%w: %s", ErrUserNotFound, name)
 }
@@ -148,10 +220,17 @@ func (s *Supernode) EncodeBody() []byte {
 		encodeUser(w, u)
 	}
 	w.WriteUint32(s.NextUserID)
+	if s.GroupTree != nil {
+		// Versioned trailing extension: tag + length-prefixed tree.
+		w.WriteUint8(supernodeExtGroupTree)
+		w.WriteBytes(s.GroupTree.Encode())
+	}
 	return w.Bytes()
 }
 
-// DecodeSupernodeBody parses a body produced by EncodeBody.
+// DecodeSupernodeBody parses a body produced by EncodeBody, accepting
+// both the legacy layout (body ends after NextUserID) and the extended
+// layout carrying a group key tree.
 func DecodeSupernodeBody(body []byte) (*Supernode, error) {
 	r := serial.NewReader(body)
 	var s Supernode
@@ -166,6 +245,21 @@ func DecodeSupernodeBody(body []byte) (*Supernode, error) {
 		s.Users = append(s.Users, decodeUser(r))
 	}
 	s.NextUserID = r.ReadUint32("next user id")
+	if r.Err() == nil && r.Remaining() > 0 {
+		switch tag := r.ReadUint8("supernode extension tag"); tag {
+		case supernodeExtGroupTree:
+			blob := r.ReadBytes(1<<30, "group tree blob")
+			if r.Err() == nil {
+				tree, err := groupkey.DecodeTree(blob)
+				if err != nil {
+					return nil, fmt.Errorf("decoding supernode group tree: %w", err)
+				}
+				s.GroupTree = tree
+			}
+		default:
+			return nil, fmt.Errorf("decoding supernode: unknown extension tag %d", tag)
+		}
+	}
 	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding supernode: %w", err)
 	}

@@ -220,6 +220,13 @@ type ClientConfig struct {
 	// WritebackMaxBytes caps estimated batched metadata bytes before an
 	// inline drain (default 4 MiB; write-back mode only).
 	WritebackMaxBytes int64
+	// DisableGroupKeys turns off the membership key tree (flat-list
+	// user management, the pre-tree behaviour kept for comparison in
+	// the revocation sweep). With the default (false) the enclave
+	// maintains a subgroup key tree over the volume's users: revoking a
+	// user rotates O(log n) keys, and directory ACLs can grant rights
+	// to whole leaf subgroups. See Volume.SetGroupACL and DESIGN.md §13.
+	DisableGroupKeys bool
 	// Obs, when set, is the observability registry the whole stack
 	// (vfs, enclave, SGX transitions) records into — share one registry
 	// across clients to aggregate, or leave nil for a private registry
@@ -289,6 +296,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		Writeback:            writeback,
 		WritebackMaxOps:      cfg.WritebackMaxOps,
 		WritebackMaxBytes:    cfg.WritebackMaxBytes,
+		DisableGroupKeys:     cfg.DisableGroupKeys,
 		Obs:                  cfg.Obs,
 	})
 	if err != nil {
@@ -438,7 +446,22 @@ func (v *Volume) SetACL(dirPath, userName string, rights Rights) error {
 	return v.client.encl.SetACL(dirPath, userName, rights)
 }
 
-// GetACL returns a directory's ACL keyed by username.
+// SetGroupACL grants rights on a directory to an entire leaf subgroup
+// of the membership key tree (NoRights revokes the grant). Obtain a
+// user's subgroup with UserGroup. Subgroup membership churn needs no
+// ACL rewrite: rights resolve through the tree at check time.
+func (v *Volume) SetGroupACL(dirPath string, group uint32, rights Rights) error {
+	return v.client.encl.SetGroupACL(dirPath, group, rights)
+}
+
+// UserGroup returns the leaf subgroup of the membership key tree the
+// named user currently belongs to, for use with SetGroupACL.
+func (v *Volume) UserGroup(userName string) (uint32, error) {
+	return v.client.encl.UserGroup(userName)
+}
+
+// GetACL returns a directory's ACL keyed by username; subgroup grants
+// appear as "group:<id>".
 func (v *Volume) GetACL(dirPath string) (map[string]Rights, error) {
 	return v.client.encl.GetACL(dirPath)
 }
