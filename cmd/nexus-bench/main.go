@@ -7,11 +7,19 @@
 //	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
 //	            [-entries N] [-transition duration] [-no-cache]
 //	            [-workers N] [-json] [-out FILE] [-crypto-workers LIST]
-//	            [-members LIST] [-groupmode tree|flat|both]
+//	            [-crypto-bytes N] [-members LIST] [-groupmode tree|flat|both]
+//
+// -exp also accepts a comma-separated list (e.g. -exp fileio,crypto) so
+// one report — and therefore one benchdiff gate — can cover several
+// experiments.
 //
 // -scale divides workload file *sizes* (never counts) so paper-scale
 // experiments (-scale 1) and quick runs (-scale 1024) use identical
-// operation mixes. The defaults complete in a few minutes.
+// operation mixes. The defaults complete in a few minutes. The crypto
+// experiment's buffer follows -scale too unless -crypto-bytes pins it;
+// pinning matters when the rest of the run is scaled down hard, because
+// a buffer under one chunk (1 MiB) leaves the worker sweep nothing to
+// parallelize.
 //
 // -json additionally writes a schema-versioned machine-readable report
 // (ns/op, MB/s, allocs per experiment) to BENCH_<rev>.json — or -out —
@@ -52,6 +60,7 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "", "report path for -json (default BENCH_<rev>.json)")
 	cryptoWorkers := flag.String("crypto-workers", "1,2,4,8", "comma-separated worker counts for the crypto experiment")
+	cryptoBytes := flag.Int64("crypto-bytes", 0, "chunk-crypto buffer size in bytes (0 = 16MiB divided by -scale)")
 	members := flag.String("members", "1000,10000,100000,1000000", "comma-separated membership sizes for the revoke-sweep experiment")
 	groupMode := flag.String("groupmode", "both", "revoke-sweep structures: tree|flat|both (flat is the O(n) re-wrap baseline)")
 	flag.Parse()
@@ -82,7 +91,14 @@ func run() error {
 	}
 	defer env.Close()
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	want := func(name string) bool {
+		for _, e := range splitCSV(*exp) {
+			if e == "all" || e == name {
+				return true
+			}
+		}
+		return false
+	}
 
 	if want("fileio") {
 		rows, err := bench.FileIO(env, []int{1, 2, 16, 64})
@@ -189,7 +205,10 @@ func run() error {
 			}
 			workers = append(workers, n)
 		}
-		size := int64(16) << 20 / *scale
+		size := *cryptoBytes
+		if size <= 0 {
+			size = int64(16) << 20 / *scale
+		}
 		rows, err := bench.ChunkCrypto(size, cfg.ChunkSize, workers)
 		if err != nil {
 			return fmt.Errorf("crypto: %w", err)

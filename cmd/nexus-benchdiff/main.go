@@ -4,9 +4,19 @@
 //
 //	nexus-benchdiff -baseline bench/baseline.json -current BENCH_abc1234.json
 //
-// A metric regresses when its ns/op exceeds the baseline by more than
-// -tolerance (fractional; default 0.2 = 20%), or when a baseline metric
-// is missing from the current report.
+// Three metrics are gated per experiment entry: ns/op may not rise
+// beyond -tolerance (default 0.2 = +20%), allocs/op may not rise
+// beyond -allocs-tolerance (default 0.1 = +10%), and MB/s may not drop
+// beyond -mbs-tolerance (default 0.25 = −25%). A baseline metric
+// missing from the current report also fails. Reports stamped with
+// differing CPU counts or architectures are refused — the parallel
+// chunk-crypto figures are not comparable — unless -allow-env-mismatch
+// is passed.
+//
+// -min-speedup-w4 additionally gates the current report alone: every
+// "<op>_w1"/"<op>_w4" MB/s pair must show the w4 column at least that
+// many times faster (the multi-core CI leg passes 1.5). The check is
+// skipped on machines with fewer than 4 CPUs.
 package main
 
 import (
@@ -21,16 +31,26 @@ import (
 func main() {
 	baseline := flag.String("baseline", "", "baseline report (required)")
 	current := flag.String("current", "", "current report (required)")
-	tolerance := flag.Float64("tolerance", 0.2, "allowed fractional slowdown before failing")
+	tolerance := flag.Float64("tolerance", 0.2, "allowed fractional ns/op slowdown before failing")
+	allocsTol := flag.Float64("allocs-tolerance", compare.DefaultAllocsTolerance, "allowed fractional allocs/op rise before failing")
+	mbsTol := flag.Float64("mbs-tolerance", compare.DefaultMBsTolerance, "allowed fractional MB/s drop before failing")
+	allowEnv := flag.Bool("allow-env-mismatch", false, "diff reports from differing cpus/goarch anyway (numbers are apples-to-oranges)")
+	minSpeedup := flag.Float64("min-speedup-w4", 0, "require w4 MB/s ≥ this multiple of w1 in the current report (0 = off; skipped under 4 cpus)")
 	flag.Parse()
 
-	if err := run(*baseline, *current, *tolerance); err != nil {
+	opts := compare.Options{
+		Tolerance:        *tolerance,
+		AllocsTolerance:  *allocsTol,
+		MBsTolerance:     *mbsTol,
+		AllowEnvMismatch: *allowEnv,
+	}
+	if err := run(*baseline, *current, opts, *minSpeedup); err != nil {
 		fmt.Fprintf(os.Stderr, "nexus-benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, tolerance float64) error {
+func run(baselinePath, currentPath string, opts compare.Options, minSpeedup float64) error {
 	if baselinePath == "" || currentPath == "" {
 		return fmt.Errorf("both -baseline and -current are required")
 	}
@@ -43,15 +63,30 @@ func run(baselinePath, currentPath string, tolerance float64) error {
 		return err
 	}
 
-	deltas, regressed, err := compare.Diff(base, cur, tolerance)
+	deltas, regressed, err := compare.DiffOpts(base, cur, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("baseline %s (%d cpus) vs current %s (%d cpus), tolerance +%.0f%%\n",
-		base.Rev, base.CPUs, cur.Rev, cur.CPUs, tolerance*100)
-	compare.Format(os.Stdout, deltas, tolerance)
+	fmt.Printf("baseline %s (%d cpus, %s) vs current %s (%d cpus, %s)\n",
+		base.Rev, base.CPUs, base.GOARCH, cur.Rev, cur.CPUs, cur.GOARCH)
+	fmt.Printf("gates: ns/op +%.0f%%, allocs/op +%.0f%%, MB/s -%.0f%%\n",
+		opts.Tolerance*100, opts.AllocsTolerance*100, opts.MBsTolerance*100)
+	compare.Format(os.Stdout, deltas, opts)
+
+	if minSpeedup > 0 {
+		checked, err := compare.CheckSpeedup(cur, minSpeedup)
+		switch {
+		case err != nil:
+			return err
+		case !checked:
+			fmt.Printf("speedup gate skipped: current report ran with %d cpus (need 4)\n", cur.CPUs)
+		default:
+			fmt.Printf("speedup gate passed: w4 ≥ %.2fx w1 MB/s\n", minSpeedup)
+		}
+	}
 	if regressed {
-		return fmt.Errorf("performance regression beyond +%.0f%% tolerance", tolerance*100)
+		return fmt.Errorf("performance regression beyond tolerance (ns/op +%.0f%%, allocs/op +%.0f%%, MB/s -%.0f%%)",
+			opts.Tolerance*100, opts.AllocsTolerance*100, opts.MBsTolerance*100)
 	}
 	fmt.Println("no regressions")
 	return nil

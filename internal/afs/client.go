@@ -615,6 +615,156 @@ func (c *Client) PutVersioned(name string, data []byte) (uint64, error) {
 	return version, nil
 }
 
+// PutVersionedStream stores a file whose contents are produced
+// incrementally: next returns consecutive body segments (nil = done)
+// summing to exactly total bytes. The segments go out as soon as they
+// exist, so upstream production — the enclave sealing chunks — overlaps
+// the transfer; on the wire the server still sees one ordinary store
+// frame, applied atomically. Segment buffers belong to the producer and
+// may be reused after each call, so the write-through cache accumulates
+// its own copy as the segments pass by.
+//
+// Failure semantics match PutVersioned: a store is never re-sent, and a
+// mid-exchange transport failure surfaces ErrInterrupted. A producer
+// error aborts the frame — the connection is dropped, the server's
+// frame read fails, and nothing is applied.
+func (c *Client) PutVersionedStream(name string, total int, next func() ([]byte, error)) (uint64, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	var span *obs.Span
+	if c.metrics.tracer.Enabled() {
+		span = c.metrics.tracer.Begin("afs.store")
+		span.SetTagInt("streamed", 1)
+	}
+	start := time.Now()
+	version, retries, faults, err := c.streamStoreAttempts(name, total, next)
+	c.metrics.rpcLat.Record(time.Since(start))
+	if retries > 0 {
+		span.SetTagInt("retries", retries)
+	}
+	if faults > 0 {
+		span.SetTagInt("faults", faults)
+	}
+	if err != nil {
+		span.SetTag("error", errClass(err))
+	}
+	span.End()
+	return version, err
+}
+
+// streamStoreAttempts mirrors callAttempts for the scattered store:
+// dial-level failures retry (the producer has not been touched yet),
+// but once the first byte is out the RPC is one-shot.
+func (c *Client) streamStoreAttempts(name string, total int, next func() ([]byte, error)) (version uint64, retries, faults int64, err error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if c.closed.Load() {
+			return 0, retries, faults, ErrClosed
+		}
+		if attempt > 1 {
+			retries++
+			c.metrics.retries.Inc()
+		}
+		if err := c.ensureConnLocked(); err != nil {
+			faults++
+			lastErr = err
+		} else {
+			version, connDead, err := c.streamExchangeLocked(name, total, next)
+			if connDead {
+				c.dropConnLocked()
+			}
+			if err != nil && c.cache != nil {
+				// Applied or not, the cached copy is no longer trustworthy.
+				c.cache.invalidate(name)
+			}
+			if err == nil || !errors.Is(err, errTransport) {
+				return version, retries, faults, err
+			}
+			c.metrics.transportFaults.Inc()
+			faults++
+			return 0, retries, faults, fmt.Errorf("afs: %s: %w: %w", opStore, ErrInterrupted, err)
+		}
+		if attempt >= c.retry.policy.MaxAttempts {
+			return 0, retries, faults, fmt.Errorf("afs: %s: %w: %w", opStore, ErrUnavailable, lastErr)
+		}
+		time.Sleep(c.retry.wait(attempt))
+		if c.closed.Load() {
+			return 0, retries, faults, ErrClosed
+		}
+	}
+}
+
+// streamExchangeLocked sends one scattered store frame and reads its
+// response. connDead reports that the connection is no longer usable:
+// any failure between the first header byte and a complete response
+// leaves a partial frame outbound or an unread response inbound.
+func (c *Client) streamExchangeLocked(name string, total int, next func() ([]byte, error)) (version uint64, connDead bool, err error) {
+	conn := c.currentConn()
+	c.reqID++
+	id := c.reqID
+	c.metrics.rpcs.Inc()
+	if c.timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	}
+	// The store body is name ‖ u32 length ‖ data; the data bytes arrive
+	// as scattered segments after this prefix.
+	prefix := serial.NewWriter(8 + len(name))
+	prefix.WriteString(name)
+	prefix.WriteUint32(uint32(total))
+
+	var acc []byte
+	if c.cache != nil {
+		acc = make([]byte, 0, total)
+	}
+	var produceErr error
+	produce := func() ([]byte, error) {
+		seg, err := next()
+		if err != nil {
+			produceErr = err
+			return nil, err
+		}
+		if acc != nil && len(seg) > 0 {
+			acc = append(acc, seg...)
+		}
+		return seg, nil
+	}
+	if err := writeFrameScatter(conn, opStore, id, prefix.Bytes(), total, produce); err != nil {
+		if produceErr != nil {
+			// The frame never completed, so the server applies nothing —
+			// but the connection is mid-frame and has to go.
+			return 0, true, fmt.Errorf("afs: store %s: %w", name, produceErr)
+		}
+		return 0, true, transportFault("writing request", err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return 0, true, transportFault("reading response", err)
+	}
+	if resp.reqID != id {
+		return 0, true, fmt.Errorf("%w: %w: response id %d for request %d", errTransport, ErrProtocol, resp.reqID, id)
+	}
+	switch resp.op {
+	case opReply:
+	case opError:
+		return 0, false, decodeError(resp.body)
+	default:
+		return 0, true, fmt.Errorf("%w: %w: unexpected op %d", errTransport, ErrProtocol, resp.op)
+	}
+	r := serial.NewReader(resp.body)
+	version = r.ReadUint64("version")
+	if err := r.Finish(); err != nil {
+		return 0, false, err
+	}
+	if c.cache != nil {
+		c.cache.putOwned(name, acc, version)
+	}
+	return version, false, nil
+}
+
 // Stat describes a remote file.
 type Stat struct {
 	Exists  bool
@@ -738,25 +888,31 @@ func (fc *fileCache) putNegative(name string) {
 }
 
 func (fc *fileCache) put(name string, data []byte, version uint64) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fc.putOwned(name, cp, version)
+}
+
+// putOwned is put for a buffer the cache takes ownership of, skipping
+// the defensive copy. The streaming put accumulates its own copy
+// segment by segment, so a second copy here would be pure waste.
+func (fc *fileCache) putOwned(name string, data []byte, version uint64) {
 	if int64(len(data)) > fc.budget {
 		return // larger than the whole cache; do not thrash
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	if el, ok := fc.byName[name]; ok {
 		entry := el.Value.(*cacheEntry)
-		fc.used += int64(len(cp)) - int64(len(entry.data))
-		entry.data = cp
+		fc.used += int64(len(data)) - int64(len(entry.data))
+		entry.data = data
 		entry.version = version
 		entry.negative = false
 		fc.lru.MoveToFront(el)
 	} else {
-		el := fc.lru.PushFront(&cacheEntry{name: name, data: cp, version: version})
+		el := fc.lru.PushFront(&cacheEntry{name: name, data: data, version: version})
 		fc.byName[name] = el
-		fc.used += int64(len(cp))
+		fc.used += int64(len(data))
 	}
 	for fc.used > fc.budget {
 		oldest := fc.lru.Back()

@@ -132,6 +132,53 @@ func writeFrame(w io.Writer, f frame) error {
 	return nil
 }
 
+// writeFrameScatter sends one frame whose body is prefix followed by
+// segTotal bytes produced incrementally by next (nil segment = done).
+// The header and prefix coalesce into a single write — the simulated
+// network charges latency per write — and each produced segment goes
+// out as soon as it exists, so payload production (chunk sealing)
+// overlaps the transfer. The receiver sees one ordinary frame;
+// scatter/gather framing is purely a sender-side shape.
+//
+// A producer error or a short/overlong segment stream leaves a partial
+// frame on the wire: the connection is unusable and the caller must
+// drop it (the peer's io.ReadFull then fails, discarding the partial
+// frame without applying anything).
+func writeFrameScatter(w io.Writer, op opCode, reqID uint64, prefix []byte, segTotal int, next func() ([]byte, error)) error {
+	payload := 1 + 8 + len(prefix) + segTotal
+	if payload > maxFrameSize {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, payload)
+	}
+	hdr := make([]byte, 4+1+8, 4+1+8+len(prefix))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload))
+	hdr[4] = byte(op)
+	binary.LittleEndian.PutUint64(hdr[5:13], reqID)
+	hdr = append(hdr, prefix...)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("afs: writing frame header: %w", err)
+	}
+	sent := 0
+	for {
+		seg, err := next()
+		if err != nil {
+			return fmt.Errorf("afs: producing frame body: %w", err)
+		}
+		if seg == nil {
+			break
+		}
+		if sent += len(seg); sent > segTotal {
+			return fmt.Errorf("%w: segment stream produced %d bytes, announced %d", ErrProtocol, sent, segTotal)
+		}
+		if _, err := w.Write(seg); err != nil {
+			return fmt.Errorf("afs: writing frame body: %w", err)
+		}
+	}
+	if sent != segTotal {
+		return fmt.Errorf("%w: segment stream ended at %d bytes, announced %d", ErrProtocol, sent, segTotal)
+	}
+	return nil
+}
+
 // readFrame reads the next frame from r.
 func readFrame(r io.Reader) (frame, error) {
 	var hdr [4]byte

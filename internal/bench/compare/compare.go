@@ -1,15 +1,63 @@
 // Package compare diffs two machine-readable bench reports
 // (BENCH_<rev>.json) and decides whether the newer one regressed. It is
 // the library behind cmd/nexus-benchdiff and the CI perf gate.
+//
+// Three metrics are gated: ns/op (may not rise beyond Tolerance),
+// allocs/op (may not rise beyond AllocsTolerance — the zero-copy chunk
+// pipeline's allocation budget is a correctness-adjacent invariant, so
+// CI fails when it erodes), and MB/s (may not drop beyond
+// MBsTolerance). Tail latencies and flush/wrap counts remain
+// informational. Reports from different machines are refused outright
+// unless explicitly overridden: parallel chunk-crypto figures are
+// meaningless across differing core counts or architectures.
 package compare
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"nexus/internal/bench"
 )
+
+// Default per-metric tolerances used by Diff and cmd/nexus-benchdiff.
+const (
+	// DefaultAllocsTolerance is the allowed fractional rise in
+	// allocs/op (+10%). Allocation counts are near-deterministic for a
+	// given toolchain, so the band is deliberately tight.
+	DefaultAllocsTolerance = 0.10
+	// DefaultMBsTolerance is the allowed fractional drop in MB/s
+	// (−25%). Throughput is noisier than allocation counts, so the
+	// band is wider.
+	DefaultMBsTolerance = 0.25
+)
+
+// speedupMinCPUs is the core count below which CheckSpeedup is
+// meaningless and skips: with fewer than 4 schedulable CPUs the w4
+// workers time-slice a smaller machine and no scaling is expected.
+const speedupMinCPUs = 4
+
+// Options configures a comparison. The zero value gates nothing but
+// ns/op Missing checks; use Diff (or fill the fields) for the standard
+// CI gate.
+type Options struct {
+	// Tolerance is the allowed fractional ns/op slowdown (0.2 = +20%):
+	// a metric regresses when cur > base*(1+Tolerance).
+	Tolerance float64
+	// AllocsTolerance is the allowed fractional rise in allocs/op. The
+	// gate is skipped for metrics where either report lacks the figure
+	// (zero on either side).
+	AllocsTolerance float64
+	// MBsTolerance is the allowed fractional drop in MB/s: a metric
+	// regresses when cur < base*(1−MBsTolerance). Skipped when either
+	// side lacks the figure.
+	MBsTolerance float64
+	// AllowEnvMismatch skips the CheckEnv refusal for reports from
+	// differing machines. The numbers are then printed but should be
+	// read as apples-to-oranges.
+	AllowEnvMismatch bool
+}
 
 // Delta is the comparison of one metric between two reports.
 type Delta struct {
@@ -24,9 +72,27 @@ type Delta struct {
 	// treated as a regression, since silently dropping a measurement
 	// would otherwise un-guard it.
 	Missing bool
-	// Regressed is set when CurNs exceeds BaseNs by more than the
-	// tolerance, or when Missing.
+	// Regressed aggregates every gated failure: Missing, NsRegressed,
+	// AllocsRegressed, or MBsRegressed.
 	Regressed bool
+	// NsRegressed is set when CurNs exceeds BaseNs by more than
+	// Options.Tolerance.
+	NsRegressed bool
+	// BaseAllocs/CurAllocs/AllocsRatio compare allocs/op when both
+	// reports carry the figure; AllocsRatio is zero otherwise.
+	// AllocsRegressed is set when the rise exceeds
+	// Options.AllocsTolerance.
+	BaseAllocs      float64
+	CurAllocs       float64
+	AllocsRatio     float64
+	AllocsRegressed bool
+	// BaseMBs/CurMBs/MBsRatio compare MB/s when both reports carry the
+	// figure (ratio >1 means faster). MBsRegressed is set when the
+	// drop exceeds Options.MBsTolerance.
+	BaseMBs      float64
+	CurMBs       float64
+	MBsRatio     float64
+	MBsRegressed bool
 	// P95Ratio and P99Ratio compare tail latencies when both reports
 	// carry histogram percentiles for the metric; zero otherwise. Tails
 	// are informational — too noisy to gate on — so they never set
@@ -45,17 +111,48 @@ type Delta struct {
 	WrapRatio float64
 }
 
-// Diff compares current against baseline metric by metric. tolerance is
-// the allowed fractional slowdown (0.2 = 20%): a metric regresses when
-// cur > base*(1+tolerance). Metrics that exist only in current are new
-// coverage, not regressions. Returns every delta (sorted, regressions
-// included) and whether any metric regressed.
+// CheckEnv reports whether two reports were produced on comparable
+// machines. CPU counts and architectures must match when both sides
+// carry them (older reports without the stamps are let through so the
+// baseline can be upgraded incrementally).
+func CheckEnv(baseline, current *bench.Report) error {
+	if baseline.CPUs != 0 && current.CPUs != 0 && baseline.CPUs != current.CPUs {
+		return fmt.Errorf("compare: reports are not comparable: baseline ran with %d cpus, current with %d — parallel chunk-crypto and MB/s figures shift with core count, so this diff would gate on noise; regenerate the baseline on this machine (or pass -allow-env-mismatch to diff anyway)",
+			baseline.CPUs, current.CPUs)
+	}
+	if baseline.GOARCH != "" && current.GOARCH != "" && baseline.GOARCH != current.GOARCH {
+		return fmt.Errorf("compare: reports are not comparable: baseline is %s, current is %s — allocation counts and AES throughput are architecture-specific; regenerate the baseline for this architecture (or pass -allow-env-mismatch to diff anyway)",
+			baseline.GOARCH, current.GOARCH)
+	}
+	return nil
+}
+
+// Diff compares current against baseline with the standard CI gate:
+// the given ns/op tolerance plus the default allocs/op and MB/s
+// tolerances, refusing environment-mismatched reports. Metrics that
+// exist only in current are new coverage, not regressions. Returns
+// every delta (sorted, regressions included) and whether any metric
+// regressed.
 func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, error) {
+	return DiffOpts(baseline, current, Options{
+		Tolerance:       tolerance,
+		AllocsTolerance: DefaultAllocsTolerance,
+		MBsTolerance:    DefaultMBsTolerance,
+	})
+}
+
+// DiffOpts is Diff with every knob exposed.
+func DiffOpts(baseline, current *bench.Report, opts Options) ([]Delta, bool, error) {
 	if baseline.Schema != current.Schema {
 		return nil, false, fmt.Errorf("compare: schema mismatch: baseline %d vs current %d", baseline.Schema, current.Schema)
 	}
-	if tolerance < 0 {
-		return nil, false, fmt.Errorf("compare: negative tolerance %v", tolerance)
+	if opts.Tolerance < 0 || opts.AllocsTolerance < 0 || opts.MBsTolerance < 0 {
+		return nil, false, fmt.Errorf("compare: negative tolerance %+v", opts)
+	}
+	if !opts.AllowEnvMismatch {
+		if err := CheckEnv(baseline, current); err != nil {
+			return nil, false, err
+		}
 	}
 
 	var deltas []Delta
@@ -67,13 +164,24 @@ func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, er
 			cur, ok := curExp[name]
 			if !ok {
 				d.Missing = true
-				d.Regressed = true
 			} else {
 				d.CurNs = cur.NsPerOp
 				if base.NsPerOp > 0 {
 					d.Ratio = cur.NsPerOp / base.NsPerOp
 				}
-				d.Regressed = cur.NsPerOp > base.NsPerOp*(1+tolerance)
+				d.NsRegressed = cur.NsPerOp > base.NsPerOp*(1+opts.Tolerance)
+				if base.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+					d.BaseAllocs = base.AllocsPerOp
+					d.CurAllocs = cur.AllocsPerOp
+					d.AllocsRatio = cur.AllocsPerOp / base.AllocsPerOp
+					d.AllocsRegressed = cur.AllocsPerOp > base.AllocsPerOp*(1+opts.AllocsTolerance)
+				}
+				if base.MBPerSec > 0 && cur.MBPerSec > 0 {
+					d.BaseMBs = base.MBPerSec
+					d.CurMBs = cur.MBPerSec
+					d.MBsRatio = cur.MBPerSec / base.MBPerSec
+					d.MBsRegressed = cur.MBPerSec < base.MBPerSec*(1-opts.MBsTolerance)
+				}
 				if base.P95Ns > 0 && cur.P95Ns > 0 {
 					d.P95Ratio = cur.P95Ns / base.P95Ns
 				}
@@ -87,6 +195,7 @@ func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, er
 					d.WrapRatio = cur.WrapsPerOp / base.WrapsPerOp
 				}
 			}
+			d.Regressed = d.Missing || d.NsRegressed || d.AllocsRegressed || d.MBsRegressed
 			if d.Regressed {
 				regressed = true
 			}
@@ -102,18 +211,82 @@ func Diff(baseline, current *bench.Report, tolerance float64) ([]Delta, bool, er
 	return deltas, regressed, nil
 }
 
-// Format renders the diff as a table, flagging regressions.
-func Format(w io.Writer, deltas []Delta, tolerance float64) {
-	fmt.Fprintf(w, "%-42s %14s %14s %8s\n", "experiment/metric", "base ns/op", "cur ns/op", "ratio")
+// CheckSpeedup enforces that the current report's parallel chunk
+// crypto actually scales: for every experiment carrying MB/s figures
+// for both a "<op>_w1" metric and its "<op>_w4" sibling, the w4 figure
+// must be at least min× the w1 figure. Reports from machines with
+// fewer than 4 CPUs are skipped (checked=false): time-slicing four
+// workers on one core proves nothing about scaling. On a qualifying
+// machine the gate refuses a report with no such metric pairs — a
+// silently absent crypto experiment would otherwise un-guard the
+// speedup the same way a Missing metric would.
+func CheckSpeedup(r *bench.Report, min float64) (checked bool, err error) {
+	if min <= 0 {
+		return false, fmt.Errorf("compare: speedup threshold must be positive, got %v", min)
+	}
+	if r.CPUs < speedupMinCPUs {
+		return false, nil
+	}
+	pairs := 0
+	var failures []string
+	for expName, exp := range r.Experiments {
+		for name, w1 := range exp {
+			base, found := strings.CutSuffix(name, "_w1")
+			if !found || w1.MBPerSec <= 0 {
+				continue
+			}
+			w4, ok := exp[base+"_w4"]
+			if !ok || w4.MBPerSec <= 0 {
+				continue
+			}
+			pairs++
+			if w4.MBPerSec < min*w1.MBPerSec {
+				failures = append(failures, fmt.Sprintf("%s/%s_w4: %.1f MB/s is %.2fx of w1's %.1f MB/s (want ≥ %.2fx)",
+					expName, base, w4.MBPerSec, w4.MBPerSec/w1.MBPerSec, w1.MBPerSec, min))
+			}
+		}
+	}
+	if pairs == 0 {
+		return false, fmt.Errorf("compare: speedup gate found no _w1/_w4 MB/s metric pairs in the report; run the crypto experiment (nexus-bench -exp crypto -json)")
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return true, fmt.Errorf("compare: parallel chunk crypto is not scaling on this %d-cpu machine:\n  %s", r.CPUs, strings.Join(failures, "\n  "))
+	}
+	return true, nil
+}
+
+// Format renders the diff as a table, flagging regressions per gated
+// metric. Informational ratios (tails, flushes, wraps) ride along on
+// the right.
+func Format(w io.Writer, deltas []Delta, opts Options) {
+	fmt.Fprintf(w, "%-42s %14s %14s %8s %8s %8s\n", "experiment/metric", "base ns/op", "cur ns/op", "ratio", "allocs", "MB/s")
 	for _, d := range deltas {
 		name := d.Experiment + "/" + d.Metric
 		if d.Missing {
-			fmt.Fprintf(w, "%-42s %14.0f %14s %8s  REGRESSED (missing)\n", name, d.BaseNs, "-", "-")
+			fmt.Fprintf(w, "%-42s %14.0f %14s %8s %8s %8s  REGRESSED (missing)\n", name, d.BaseNs, "-", "-", "-", "-")
 			continue
 		}
+		var why []string
+		if d.NsRegressed {
+			why = append(why, fmt.Sprintf("ns/op > +%.0f%%", opts.Tolerance*100))
+		}
+		if d.AllocsRegressed {
+			why = append(why, fmt.Sprintf("allocs/op > +%.0f%%", opts.AllocsTolerance*100))
+		}
+		if d.MBsRegressed {
+			why = append(why, fmt.Sprintf("MB/s < -%.0f%%", opts.MBsTolerance*100))
+		}
 		flag := ""
-		if d.Regressed {
-			flag = fmt.Sprintf("  REGRESSED (> +%.0f%%)", tolerance*100)
+		if len(why) > 0 {
+			flag = "  REGRESSED (" + strings.Join(why, ", ") + ")"
+		}
+		allocs, mbs := "-", "-"
+		if d.AllocsRatio > 0 {
+			allocs = fmt.Sprintf("%.2fx", d.AllocsRatio)
+		}
+		if d.MBsRatio > 0 {
+			mbs = fmt.Sprintf("%.2fx", d.MBsRatio)
 		}
 		tails := ""
 		if d.P95Ratio > 0 {
@@ -128,6 +301,6 @@ func Format(w io.Writer, deltas []Delta, tolerance float64) {
 		if d.WrapRatio > 0 {
 			tails += fmt.Sprintf("  wraps/op %.2fx", d.WrapRatio)
 		}
-		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, tails, flag)
+		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx %8s %8s%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, allocs, mbs, tails, flag)
 	}
 }

@@ -74,6 +74,10 @@ type Report struct {
 }
 
 // NewReport stamps a report with the current toolchain and machine.
+// CPUs records GOMAXPROCS, not the physical core count: it is the
+// number of CPUs the measured code could actually use, so a CI leg
+// pinned to GOMAXPROCS=4 on a larger runner produces reports
+// comparable with a 4-cpu baseline.
 func NewReport(rev string, scale int64) *Report {
 	return &Report{
 		Schema:      ReportSchema,
@@ -81,7 +85,7 @@ func NewReport(rev string, scale int64) *Report {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
-		CPUs:        runtime.NumCPU(),
+		CPUs:        runtime.GOMAXPROCS(0),
 		Scale:       scale,
 		Experiments: make(map[string]Experiment),
 	}

@@ -374,11 +374,22 @@ func encryptAndStore(store backend.Store, owner *User, users map[string]*User, p
 	if err != nil {
 		return st, err
 	}
-	nonce := make([]byte, 12)
+	// The sealed blob (nonce ‖ ciphertext ‖ tag) lives in a pooled
+	// buffer: stores copy on Put (see backend.Store), so the lease ends
+	// with this call and Revoke's fan-out recycles one buffer per worker
+	// instead of allocating per file. Unlike the enclave's chunked
+	// pipeline this seal cannot stream: the whole file is ONE GCM
+	// message, so no prefix of the ciphertext is final until Seal
+	// returns with the tag over the entire stream — there is no chunk
+	// boundary at which bytes could be scattered to the store early.
+	total := 12 + len(data) + gcm.Overhead()
+	sealed := parallel.Shared.Get(total)
+	defer sealed.Release()
+	nonce := sealed.B[:12]
 	if _, err := rand.Read(nonce); err != nil {
 		return st, err
 	}
-	ct := gcm.Seal(nonce, nonce, data, nil)
+	ct := gcm.Seal(sealed.B[:12:total], nonce, data, nil)
 	st.BytesReencrypted += int64(len(data))
 
 	// Key block: per-reader wrapped keys.

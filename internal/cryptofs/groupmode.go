@@ -191,11 +191,17 @@ func encryptAndStoreGroup(store backend.Store, users map[string]*User, secret []
 	if err != nil {
 		return st, err
 	}
-	nonce := make([]byte, 12)
+	// Pooled sealed blob, same ownership shape as encryptAndStore: Put
+	// copies, so the lease ends with this call and the Revoke sweep
+	// recycles a buffer per worker.
+	total := 12 + len(data) + gcm.Overhead()
+	sealed := parallel.Shared.Get(total)
+	defer sealed.Release()
+	nonce := sealed.B[:12]
 	if _, err := rand.Read(nonce); err != nil {
 		return st, err
 	}
-	ct := gcm.Seal(nonce, nonce, data, nil)
+	ct := gcm.Seal(sealed.B[:12:total], nonce, data, nil)
 	st.BytesReencrypted += int64(len(data))
 
 	sort.Strings(readers)

@@ -32,6 +32,7 @@ import (
 
 	"nexus/internal/metadata"
 	"nexus/internal/obs"
+	"nexus/internal/parallel"
 	"nexus/internal/sgx"
 	"nexus/internal/uuid"
 )
@@ -45,6 +46,16 @@ const SupernodeObjectName = "supernode"
 // on every update of an object; the enclave uses it to validate its
 // in-enclave metadata cache (the AFS callback mechanism keeps the
 // untrusted file cache itself fresh).
+//
+// Buffer ownership at this boundary (DESIGN.md §14): the []byte passed
+// to PutVersioned (and every segment handed out by a
+// StreamObjectStore's next callback) remains owned by the enclave and
+// is only on loan for the duration of the call — the enclave leases it
+// from a buffer pool and re-leases it to later operations the moment
+// the call returns. Implementations must copy anything they retain
+// (caches, queues, logs) and must never stash the slice itself.
+// Symmetrically, buffers returned by GetVersioned become the enclave's
+// to keep.
 type ObjectStore interface {
 	// GetVersioned returns an object's contents and current version.
 	GetVersioned(name string) (data []byte, version uint64, err error)
@@ -55,6 +66,22 @@ type ObjectStore interface {
 	// Lock takes the object's exclusive advisory lock (flock in the
 	// prototype, §V-A).
 	Lock(name string) (release func(), err error)
+}
+
+// StreamObjectStore is an optional ObjectStore upgrade: a store that
+// can transmit an object while the producer is still generating it, so
+// chunk encryption overlaps the upload instead of serializing in front
+// of it. The enclave type-asserts for it on large writes; stores
+// without it simply receive the assembled blob via PutVersioned.
+type StreamObjectStore interface {
+	ObjectStore
+	// PutVersionedStream replaces an object with exactly total bytes
+	// drawn from next. next returns successive segments in object order
+	// — each valid only until the following next call (ownership rules
+	// above) — and (nil, nil) at end of stream; a non-nil error aborts
+	// the put. The put is atomic: a partially transferred stream must
+	// never become visible as the object's contents.
+	PutVersionedStream(name string, total int, next func() ([]byte, error)) (version uint64, err error)
 }
 
 // Errors returned by the enclave.
@@ -103,6 +130,13 @@ type Config struct {
 	// ReadFile path (0 = GOMAXPROCS with a serial fallback for small
 	// files, 1 = always serial; see internal/metadata and DESIGN.md §10).
 	CryptoWorkers int
+	// StreamPutCutoff is the write size, in bytes, from which WriteFile
+	// pipelines chunk encryption into the upload when the store
+	// implements StreamObjectStore (0 = default 4 MiB, negative =
+	// never stream). Below the cutoff the assembled single-frame put is
+	// cheaper: the simulated network charges latency per write, so
+	// streaming only pays once crypto time is worth hiding.
+	StreamPutCutoff int
 	// DisableMetadataCache turns off the in-enclave decrypted-metadata
 	// cache (used by the cache ablation benchmark).
 	DisableMetadataCache bool
@@ -160,6 +194,12 @@ type Stats struct {
 	// DataIOTime is wall time spent in ocalls moving encrypted file
 	// contents.
 	DataIOTime time.Duration
+	// ChunkPoolHits and ChunkPoolMisses report the sealed-buffer arena's
+	// health: misses mean the data path is allocating fresh spans
+	// instead of recycling them (mirrors
+	// enclave_chunk_pool_{hits,misses}_total).
+	ChunkPoolHits   int64
+	ChunkPoolMisses int64
 }
 
 // Enclave is a NEXUS enclave instance managing (at most) one mounted
@@ -202,6 +242,11 @@ type Enclave struct {
 	wb        *dirtySet
 	freshSink map[uuid.UUID]uint64
 
+	// arena pools the data path's sealed-chunk buffers (DESIGN.md §14).
+	// Per-enclave rather than process-wide so the pool-health counters
+	// it mirrors into metrics are this enclave's alone.
+	arena *parallel.Arena
+
 	metrics enclaveMetrics
 }
 
@@ -219,6 +264,8 @@ type enclaveMetrics struct {
 	dataBytes         *obs.Counter // enclave_data_bytes_written_total
 	chunks            *obs.Counter // enclave_chunk_crypto_chunks_total
 	chunkLat          *obs.Histogram
+	poolHits          *obs.Counter // enclave_chunk_pool_hits_total
+	poolMisses        *obs.Counter // enclave_chunk_pool_misses_total
 	workers           *obs.Gauge   // enclave_crypto_workers
 	metadataDirty     *obs.Counter // enclave_metadata_dirty_total
 	flushBatches      *obs.Counter // enclave_flush_batches_total
@@ -252,6 +299,8 @@ func (m *enclaveMetrics) bind(reg *obs.Registry) {
 	m.dataBytes = reg.Counter("enclave_data_bytes_written_total")
 	m.chunks = reg.Counter("enclave_chunk_crypto_chunks_total")
 	m.chunkLat = reg.Histogram("enclave_chunk_crypto_seconds")
+	m.poolHits = reg.Counter("enclave_chunk_pool_hits_total")
+	m.poolMisses = reg.Counter("enclave_chunk_pool_misses_total")
 	m.workers = reg.Gauge("enclave_crypto_workers")
 	m.metadataDirty = reg.Counter("enclave_metadata_dirty_total")
 	m.flushBatches = reg.Counter("enclave_flush_batches_total")
@@ -298,6 +347,8 @@ func New(cfg Config) (*Enclave, error) {
 		e.wb = newDirtySet(cfg.WritebackMaxOps, cfg.WritebackMaxBytes)
 	}
 	e.metrics.bind(cfg.Obs)
+	e.arena = parallel.NewArena()
+	e.arena.SetCounters(e.metrics.poolHits.Inc, e.metrics.poolMisses.Inc)
 	// The SGX container meters its transitions into the same registry,
 	// so one scrape covers ecalls, metadata I/O and chunk crypto.
 	cfg.SGX.SetObs(cfg.Obs)
@@ -333,6 +384,8 @@ func (e *Enclave) Stats() Stats {
 		DataBytesWritten:     m.dataBytes.Value(),
 		MetadataIOTime:       time.Duration(m.metaIO.ns.Value()),
 		DataIOTime:           time.Duration(m.dataIO.ns.Value()),
+		ChunkPoolHits:        m.poolHits.Value(),
+		ChunkPoolMisses:      m.poolMisses.Value(),
 	}
 }
 
@@ -347,6 +400,8 @@ func (e *Enclave) ResetStats() {
 	m.dataBytes.Reset()
 	m.chunks.Reset()
 	m.chunkLat.Reset()
+	m.poolHits.Reset()
+	m.poolMisses.Reset()
 	m.metaIO.ns.Reset()
 	m.metaIO.lat.Reset()
 	m.dataIO.ns.Reset()

@@ -399,8 +399,10 @@ func TestStatsAccounting(t *testing.T) {
 	if st.MetadataFlushes == 0 || st.MetadataBytesWritten == 0 {
 		t.Fatalf("metadata stats empty: %+v", st)
 	}
-	if st.DataBytesWritten != 1000 {
-		t.Fatalf("DataBytesWritten = %d, want 1000", st.DataBytesWritten)
+	// 1000 plaintext bytes seal into one chunk of ciphertext plus its
+	// 16-byte inline tag.
+	if st.DataBytesWritten != 1016 {
+		t.Fatalf("DataBytesWritten = %d, want 1016", st.DataBytesWritten)
 	}
 	if e.SGX().EcallCount() == 0 || e.SGX().OcallCount() == 0 {
 		t.Fatal("transition counters empty")

@@ -753,6 +753,97 @@ func (e *Enclave) lockDirsLocked(a, b uuid.UUID) (func(), error) {
 	}, nil
 }
 
+// defaultStreamPutCutoff is the write size from which WriteFile
+// pipelines encryption into the upload on stream-capable stores (see
+// Config.StreamPutCutoff). Below ~4 MiB the crypto time worth hiding
+// is smaller than the extra per-segment network latency.
+const defaultStreamPutCutoff = 4 << 20
+
+func (e *Enclave) streamCutoffBytes() int {
+	switch c := e.cfg.StreamPutCutoff; {
+	case c == 0:
+		return defaultStreamPutCutoff
+	case c < 0:
+		return int(^uint(0) >> 1) // never
+	default:
+		return c
+	}
+}
+
+// encryptAndPutLocked seals data under f's freshly rotated contexts and
+// uploads the sealed blob to f's data object. The sealed span is leased
+// from the enclave's buffer arena — it is released (and back under the
+// next leaseholder's feet) the moment the upload returns, which is safe
+// because ObjectStore implementations never retain put buffers (see the
+// interface's ownership rules). On stream-capable stores, writes at or
+// above the streaming cutoff overlap chunk sealing with the upload.
+func (e *Enclave) encryptAndPutLocked(f *metadata.Filenode, data []byte) error {
+	name := objName(f.DataUUID)
+	sealedLen := f.SealedSize(len(data))
+	buf := e.arena.Get(sealedLen)
+	defer buf.Release()
+
+	if ss, ok := e.store.(StreamObjectStore); ok && len(data) >= e.streamCutoffBytes() {
+		if err := e.streamPutLocked(ss, f, buf.B, data, name); err != nil {
+			return err
+		}
+		e.metrics.dataBytes.Add(int64(sealedLen))
+		return nil
+	}
+
+	blob, err := e.timedChunkCrypto(len(data), func() ([]byte, error) {
+		return f.EncryptContentInto(buf.B, data, e.cfg.CryptoWorkers)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := e.putDataObject(name, blob); err != nil {
+		return fmt.Errorf("uploading data object: %w", err)
+	}
+	e.metrics.dataBytes.Add(int64(len(blob)))
+	return nil
+}
+
+// streamPutLocked runs the encrypt-while-upload pipeline: workers seal
+// chunks into dst while the store drains the completed prefix through
+// the stream put. The chunk-crypto histogram records the sealing time
+// alone (the stream stamps it when the last chunk lands), so streamed
+// writes don't pollute the crypto latency distribution with network
+// time; the surrounding ocall meter captures the fused transfer.
+func (e *Enclave) streamPutLocked(ss StreamObjectStore, f *metadata.Filenode, dst, data []byte, name string) error {
+	var chunks int64
+	if cs := int64(e.cfg.ChunkSize); len(data) > 0 && cs > 0 {
+		chunks = (int64(len(data)) + cs - 1) / cs
+	}
+	span := e.metrics.tracer.Begin("enclave.chunkcrypto")
+	span.SetTagInt("chunks", chunks)
+	span.SetTagInt("workers", int64(e.cfg.CryptoWorkers))
+	span.SetTagInt("streamed", 1)
+	defer span.End()
+
+	stream, err := f.EncryptContentStream(dst, data, e.cfg.CryptoWorkers)
+	if err != nil {
+		return err
+	}
+	putErr := e.timedOcall(e.metrics.dataIO, func() error {
+		_, err := ss.PutVersionedStream(name, f.SealedSize(len(data)), stream.Next)
+		return err
+	})
+	// Always wait out the sealing workers before the pooled dst can be
+	// released by our caller — even when the upload failed, the workers
+	// are still writing into it.
+	sealErr := stream.Wait()
+	e.metrics.chunkLat.Record(stream.CryptoDuration())
+	e.metrics.chunks.Add(chunks)
+	if sealErr != nil {
+		return sealErr
+	}
+	if putErr != nil {
+		return fmt.Errorf("uploading data object: %w", putErr)
+	}
+	return nil
+}
+
 // timedChunkCrypto meters one pass of the chunk-crypto pipeline: a
 // span tagged with chunk count and worker width, the cumulative chunk
 // counter, and the pipeline latency histogram. plainLen is the
@@ -819,16 +910,9 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 		if e.wb != nil {
 			if n, ok := e.wb.nodes[entry.UUID]; ok && n.file != nil {
 				f := n.file
-				blob, err := e.timedChunkCrypto(len(data), func() ([]byte, error) {
-					return f.EncryptContentWorkers(data, e.cfg.CryptoWorkers)
-				})
-				if err != nil {
+				if err := e.encryptAndPutLocked(f, data); err != nil {
 					return err
 				}
-				if _, err := e.putDataObject(objName(f.DataUUID), blob); err != nil {
-					return fmt.Errorf("uploading data object: %w", err)
-				}
-				e.metrics.dataBytes.Add(int64(len(blob)))
 				return e.maybeDrainLocked()
 			}
 		}
@@ -843,17 +927,12 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 		if err != nil {
 			return err
 		}
-		blob, err := e.timedChunkCrypto(len(data), func() ([]byte, error) {
-			return f.EncryptContentWorkers(data, e.cfg.CryptoWorkers)
-		})
-		if err != nil {
+		// Any failure past this point leaves the cached filenode with
+		// freshly rotated in-memory keys the store never saw — drop it.
+		if err := e.encryptAndPutLocked(f, data); err != nil {
+			e.cache.invalidate(f.UUID)
 			return err
 		}
-		if _, err := e.putDataObject(objName(f.DataUUID), blob); err != nil {
-			e.cache.invalidate(f.UUID)
-			return fmt.Errorf("uploading data object: %w", err)
-		}
-		e.metrics.dataBytes.Add(int64(len(blob)))
 		if err := e.flushFilenodeLocked(f, fv+1); err != nil {
 			e.cache.invalidate(f.UUID)
 			return err

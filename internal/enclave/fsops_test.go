@@ -701,8 +701,9 @@ func TestWriteReadAcrossCryptoWorkerWidths(t *testing.T) {
 			t.Fatalf("workers %d: round trip mismatch", workers)
 		}
 
-		// Corrupt the data object (the only store object whose length
-		// equals the plaintext: chunk tags live in the filenode).
+		// Corrupt the data object (the only store object whose length is
+		// the sealed size: plaintext plus one inline tag per 4 KiB chunk).
+		sealedLen := len(data) + (len(data)/4096)*16
 		names, err := store.mem.List("")
 		if err != nil {
 			t.Fatal(err)
@@ -713,7 +714,7 @@ func TestWriteReadAcrossCryptoWorkerWidths(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(blob) == len(data) {
+			if len(blob) == sealedLen {
 				mut := bytes.Clone(blob)
 				mut[len(mut)/2] ^= 1
 				if err := store.mem.Put(n, mut); err != nil {

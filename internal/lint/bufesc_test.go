@@ -1,0 +1,193 @@
+package lint
+
+import "testing"
+
+// arenaFixture is a minimal stand-in for internal/parallel: the rule
+// matches by package-path suffix and receiver type name, so fixtures
+// carry their own copy.
+const arenaFixture = `package parallel
+
+type Buf struct {
+	B []byte
+}
+
+func (b *Buf) Release() {}
+
+type Arena struct{}
+
+func NewArena() *Arena { return &Arena{} }
+
+var Shared = NewArena()
+
+func (a *Arena) Get(n int) *Buf          { return &Buf{B: make([]byte, n)} }
+func (a *Arena) GetSensitive(n int) *Buf { return a.Get(n) }
+`
+
+const bufPrelude = `package pkg
+
+import "fixture/internal/parallel"
+
+func upload(name string, data []byte) error { return nil }
+`
+
+func TestBufferEscape(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // appended to bufPrelude; //WANT marks expected findings
+	}{
+		{
+			name: "use after release",
+			src: `
+func F(data []byte) byte {
+	buf := parallel.Shared.Get(len(data))
+	copy(buf.B, data)
+	buf.Release()
+	return buf.B[0] //WANT
+}
+`,
+		},
+		{
+			name: "deferred release ok",
+			src: `
+func F(data []byte) error {
+	buf := parallel.Shared.Get(len(data))
+	defer buf.Release()
+	copy(buf.B, data)
+	return upload("x", buf.B)
+}
+`,
+		},
+		{
+			name: "double release flagged",
+			src: `
+func F() {
+	buf := parallel.Shared.Get(64)
+	buf.Release()
+	buf.Release() //WANT
+}
+`,
+		},
+		{
+			name: "re-lease into same variable ok",
+			src: `
+func F() {
+	buf := parallel.Shared.Get(64)
+	buf.Release()
+	buf = parallel.Shared.Get(128)
+	defer buf.Release()
+	_ = buf.B
+}
+`,
+		},
+		{
+			name: "escape via return of bytes",
+			src: `
+func F(n int) []byte {
+	buf := parallel.Shared.Get(n)
+	defer buf.Release()
+	return buf.B //WANT
+}
+`,
+		},
+		{
+			name: "escape via return of slice alias",
+			src: `
+func F(n int) []byte {
+	buf := parallel.Shared.GetSensitive(n)
+	defer buf.Release()
+	out := buf.B[:n/2]
+	return out //WANT
+}
+`,
+		},
+		{
+			name: "escape via struct field",
+			src: `
+type holder struct {
+	data []byte
+}
+
+func F(h *holder, n int) {
+	buf := parallel.Shared.Get(n)
+	defer buf.Release()
+	h.data = buf.B //WANT
+}
+`,
+		},
+		{
+			name: "escape via package-level variable",
+			src: `
+var stash []byte
+
+func F(n int) {
+	buf := parallel.Shared.Get(n)
+	defer buf.Release()
+	stash = buf.B[:8] //WANT
+}
+`,
+		},
+		{
+			name: "closure returning bytes to encloser ok",
+			src: `
+func meter(fn func() ([]byte, error)) ([]byte, error) { return fn() }
+
+func F(data []byte) error {
+	buf := parallel.Shared.Get(len(data))
+	defer buf.Release()
+	blob, err := meter(func() ([]byte, error) {
+		copy(buf.B, data)
+		return buf.B, nil
+	})
+	if err != nil {
+		return err
+	}
+	return upload("x", blob)
+}
+`,
+		},
+		{
+			name: "handing bytes to a call ok",
+			src: `
+func F(data []byte) error {
+	buf := parallel.Shared.Get(len(data))
+	copy(buf.B, data)
+	err := upload("x", buf.B)
+	buf.Release()
+	return err
+}
+`,
+		},
+		{
+			name: "local arena lease tracked",
+			src: `
+func F(n int) []byte {
+	a := parallel.NewArena()
+	buf := a.GetSensitive(n)
+	defer buf.Release()
+	return buf.B //WANT
+}
+`,
+		},
+		{
+			name: "suppression honored",
+			src: `
+func F(n int) []byte {
+	buf := parallel.Shared.Get(n)
+	defer buf.Release()
+	//lint:ignore buffer-escape ownership transferred to caller by documented contract
+	return buf.B
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := bufPrelude + tc.src
+			res := analyzeFixture(t, map[string]string{
+				"internal/parallel/pool.go": arenaFixture,
+				"pkg/x.go":                  src,
+			})
+			expect(t, res, RuleBufferEscape, wantLines(src)...)
+		})
+	}
+}

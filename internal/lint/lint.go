@@ -24,6 +24,9 @@
 //     path, conservatively approximated), and fields annotated
 //     "// guarded by mu" are only touched by functions that lock mu (or
 //     are *Locked helpers that document holding it).
+//   - buffer-escape: a chunk buffer leased from the internal/parallel
+//     arena is never used after Release and never escapes its lease via
+//     a return, struct field, or package-level variable (DESIGN.md §14).
 //
 // A finding can be suppressed with a directive on the same or the
 // preceding line:
@@ -70,6 +73,7 @@ func Checkers() []Checker {
 		{Rule: RuleNonce, Doc: "AEAD nonces must be fresh (crypto/rand or counter helper)", Run: checkNonce},
 		{Rule: RuleCryptoErr, Doc: "crypto errors must be checked", Run: checkCryptoErr},
 		{Rule: RuleLocks, Doc: "mutex lock/unlock pairing and guarded-by annotations", Run: checkLocks},
+		{Rule: RuleBufferEscape, Doc: "pooled arena buffers must not be used after Release or outlive their lease", Run: checkBufferEscape},
 		{Rule: RuleTaint, Doc: "key material must not flow (interprocedurally) into logs, errors, span tags or store uploads", Run: checkTaint},
 		{Rule: RuleLockedCall, Doc: "*Locked functions only reachable from contexts that hold a lock (call-graph check)", Run: checkLockedCall},
 		{Rule: RuleDirtyFlush, Doc: "enclave metadata mutations must reach a markDirty/flush barrier", Run: checkDirtyFlush},
@@ -84,6 +88,9 @@ const (
 	RuleNonce     = "nonce-hygiene"
 	RuleCryptoErr = "unchecked-crypto-error"
 	RuleLocks     = "lock-discipline"
+	// RuleBufferEscape guards the pooled-buffer ownership rules of
+	// DESIGN.md §14: no use after Release, no escape past the lease.
+	RuleBufferEscape = "buffer-escape"
 	// Interprocedural rules (this file ordering is reporting order).
 	RuleTaint      = "secret-taint"
 	RuleLockedCall = "locked-callgraph"

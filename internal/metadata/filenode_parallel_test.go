@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -14,7 +15,17 @@ import (
 // the satellite spec calls for {1, 2, 8}.
 var workerCounts = []int{1, 2, 8}
 
+// withProcs raises GOMAXPROCS for the duration of a test: Workers
+// clamps every knob to GOMAXPROCS, so on a single-core CI slice the
+// parallel paths would otherwise silently collapse to serial.
+func withProcs(t *testing.T, p int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(p)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 func TestParallelRoundTripMatchesAcrossWorkerCounts(t *testing.T) {
+	withProcs(t, 8)
 	for _, size := range []int{0, 1, 1023, 1024, 1025, 64 << 10, 1 << 20} {
 		f := NewFilenode(uuid.New(), uuid.New(), 4096)
 		pt := make([]byte, size)
@@ -26,8 +37,8 @@ func TestParallelRoundTripMatchesAcrossWorkerCounts(t *testing.T) {
 			if err != nil {
 				t.Fatalf("size %d workers %d: encrypt: %v", size, w, err)
 			}
-			if len(blob) != size {
-				t.Fatalf("size %d workers %d: ciphertext %d bytes", size, w, len(blob))
+			if len(blob) != f.SealedSize(size) {
+				t.Fatalf("size %d workers %d: sealed blob %d bytes, want %d", size, w, len(blob), f.SealedSize(size))
 			}
 			// The same blob must decrypt byte-identically under every
 			// fan-out width, not only the one that produced it.
@@ -44,8 +55,66 @@ func TestParallelRoundTripMatchesAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestParallelStreamMatchesBatch proves the seal-stream produces the
+// same wire bytes the batch API does in one shot: drained segments
+// concatenate to exactly the Sealed() blob, the blob decrypts at every
+// width, and segments arrive in order without gaps.
+func TestParallelStreamMatchesBatch(t *testing.T) {
+	withProcs(t, 8)
+	for _, size := range []int{0, 1, 4096, 64<<10 + 7, 1 << 20} {
+		f := NewFilenode(uuid.New(), uuid.New(), 16<<10)
+		pt := make([]byte, size)
+		if _, err := rand.Read(pt); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			dst := make([]byte, 0, f.SealedSize(size))
+			s, err := f.EncryptContentStream(dst, pt, w)
+			if err != nil {
+				t.Fatalf("size %d workers %d: stream: %v", size, w, err)
+			}
+			var drained []byte
+			segs := 0
+			for {
+				seg, err := s.Next()
+				if err != nil {
+					t.Fatalf("size %d workers %d: Next: %v", size, w, err)
+				}
+				if seg == nil {
+					break
+				}
+				segs++
+				drained = append(drained, seg...)
+			}
+			if err := s.Wait(); err != nil {
+				t.Fatalf("size %d workers %d: Wait: %v", size, w, err)
+			}
+			if !bytes.Equal(drained, s.Sealed()) {
+				t.Fatalf("size %d workers %d: drained %d bytes != sealed %d", size, w, len(drained), len(s.Sealed()))
+			}
+			if len(drained) != f.SealedSize(size) {
+				t.Fatalf("size %d workers %d: sealed %d bytes, want %d", size, w, len(drained), f.SealedSize(size))
+			}
+			if size > 0 && segs == 0 {
+				t.Fatalf("size %d workers %d: no segments emitted", size, w)
+			}
+			for _, dw := range workerCounts {
+				got, err := f.DecryptContentWorkers(drained, dw)
+				if err != nil {
+					t.Fatalf("size %d stream-workers %d dec-workers %d: decrypt: %v", size, w, dw, err)
+				}
+				if !bytes.Equal(got, pt) {
+					t.Fatalf("size %d stream-workers %d dec-workers %d: round trip mismatch", size, w, dw)
+				}
+			}
+		}
+	}
+}
+
 func TestParallelTamperReorderTruncateDetected(t *testing.T) {
+	withProcs(t, 8)
 	const chunk = 1024
+	const stride = chunk + 16 // ciphertext + inline tag
 	f := NewFilenode(uuid.New(), uuid.Nil, chunk)
 	pt := make([]byte, 16*chunk)
 	if _, err := rand.Read(pt); err != nil {
@@ -58,14 +127,15 @@ func TestParallelTamperReorderTruncateDetected(t *testing.T) {
 	for _, w := range workerCounts {
 		// Bit flip in a middle chunk.
 		mut := bytes.Clone(blob)
-		mut[7*chunk+13] ^= 1
+		mut[7*stride+13] ^= 1
 		if _, err := f.DecryptContentWorkers(mut, w); !errors.Is(err, ErrTampered) {
 			t.Fatalf("workers %d: ciphertext flip accepted: %v", w, err)
 		}
-		// Consistent reorder of two chunks (data swapped with contexts).
+		// Consistent reorder of two sealed chunks (data swapped with
+		// contexts).
 		swapped := bytes.Clone(blob)
-		copy(swapped[0:chunk], blob[chunk:2*chunk])
-		copy(swapped[chunk:2*chunk], blob[0:chunk])
+		copy(swapped[0:stride], blob[stride:2*stride])
+		copy(swapped[stride:2*stride], blob[0:stride])
 		f.Chunks[0], f.Chunks[1] = f.Chunks[1], f.Chunks[0]
 		if _, err := f.DecryptContentWorkers(swapped, w); !errors.Is(err, ErrTampered) {
 			t.Fatalf("workers %d: chunk reorder accepted: %v", w, err)
@@ -81,36 +151,39 @@ func TestParallelTamperReorderTruncateDetected(t *testing.T) {
 	}
 }
 
-// TestParallelFreshKeysPerUpdate asserts that batching key/IV generation
-// into one crypto/rand read preserves the §VI-A fresh-keys-per-update
-// semantics: no chunk reuses a key or IV across updates, and no two
-// chunks of one update share material.
+// TestParallelFreshKeysPerUpdate asserts that the per-update content
+// key preserves the §VI-A fresh-keys-per-update semantics: the key
+// never repeats across updates, no chunk reuses an IV across updates,
+// and no two chunks of one update share an IV (so no (key, IV) pair
+// ever seals two plaintexts).
 func TestParallelFreshKeysPerUpdate(t *testing.T) {
+	withProcs(t, 8)
 	for _, w := range workerCounts {
 		f := NewFilenode(uuid.New(), uuid.Nil, 1024)
 		pt := bytes.Repeat([]byte{7}, 8*1024)
 		if _, err := f.EncryptContentWorkers(pt, w); err != nil {
 			t.Fatal(err)
 		}
+		firstKey := f.ContentKey
 		first := make([]ChunkContext, len(f.Chunks))
 		copy(first, f.Chunks)
 		if _, err := f.EncryptContentWorkers(pt, w); err != nil {
 			t.Fatal(err)
 		}
+		if f.ContentKey == firstKey {
+			t.Fatalf("workers %d: content key reused across updates", w)
+		}
 		for i := range f.Chunks {
-			if f.Chunks[i].Key == first[i].Key {
-				t.Fatalf("workers %d: chunk %d key reused across updates", w, i)
-			}
 			if f.Chunks[i].IV == first[i].IV {
 				t.Fatalf("workers %d: chunk %d IV reused across updates", w, i)
 			}
 		}
-		seen := make(map[[BodyKeySize]byte]int)
+		seen := make(map[[ivSize]byte]int)
 		for i := range f.Chunks {
-			if j, dup := seen[f.Chunks[i].Key]; dup {
-				t.Fatalf("workers %d: chunks %d and %d share a key within one update", w, j, i)
+			if j, dup := seen[f.Chunks[i].IV]; dup {
+				t.Fatalf("workers %d: chunks %d and %d share an IV within one update", w, j, i)
 			}
-			seen[f.Chunks[i].Key] = i
+			seen[f.Chunks[i].IV] = i
 		}
 	}
 }
@@ -118,8 +191,10 @@ func TestParallelFreshKeysPerUpdate(t *testing.T) {
 // TestParallelPipelineRaceClean hammers independent filenodes from many
 // goroutines while each filenode internally fans out its chunk work;
 // meaningful only under -race, where it proves the pipeline shares no
-// hidden state across instances or workers.
+// hidden state across instances or workers (including the shared
+// buffer arena the key/IV scratch leases from).
 func TestParallelPipelineRaceClean(t *testing.T) {
+	withProcs(t, 8)
 	pt := make([]byte, 256<<10)
 	if _, err := rand.Read(pt); err != nil {
 		t.Fatal(err)
@@ -158,8 +233,9 @@ func TestParallelPipelineRaceClean(t *testing.T) {
 
 // TestSerialCutoffPicksSerial pins the auto-mode heuristic: small
 // content resolves to one worker, large content to GOMAXPROCS, and an
-// explicit knob is always honored.
+// explicit knob is honored up to the GOMAXPROCS clamp.
 func TestSerialCutoffPicksSerial(t *testing.T) {
+	withProcs(t, 8)
 	if got := cryptoWorkers(serialCutoffBytes-1, 0); got != 1 {
 		t.Fatalf("auto below cutoff: workers = %d, want 1", got)
 	}
@@ -168,5 +244,14 @@ func TestSerialCutoffPicksSerial(t *testing.T) {
 	}
 	if got := cryptoWorkers(1<<20, 3); got != 3 {
 		t.Fatalf("explicit knob: workers = %d, want 3", got)
+	}
+	if got := cryptoWorkers(1<<20, 0); got != 8 {
+		t.Fatalf("auto above cutoff: workers = %d, want GOMAXPROCS 8", got)
+	}
+	// The w8-vs-w1 regression fix: a knob above GOMAXPROCS clamps
+	// instead of oversubscribing.
+	runtime.GOMAXPROCS(2)
+	if got := cryptoWorkers(1<<20, 8); got != 2 {
+		t.Fatalf("knob above GOMAXPROCS: workers = %d, want clamp to 2", got)
 	}
 }

@@ -21,16 +21,17 @@ func TestFilenodeEncryptDecryptRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("size %d: EncryptContent: %v", size, err)
 		}
-		if len(blob) != size {
-			t.Fatalf("size %d: ciphertext %d bytes (tags must live in the filenode)", size, len(blob))
+		wantChunks := (size + 1023) / 1024
+		if len(blob) != size+wantChunks*16 {
+			t.Fatalf("size %d: sealed blob %d bytes, want %d (ciphertext + inline tag per chunk)",
+				size, len(blob), size+wantChunks*16)
 		}
 		// A 1-byte ciphertext can coincide with its plaintext by chance
 		// (p=1/256); only assert divergence where coincidence is
 		// cryptographically negligible.
-		if size >= 16 && bytes.Equal(blob, pt) {
+		if size >= 16 && bytes.Equal(blob[:size], pt) {
 			t.Fatal("ciphertext equals plaintext")
 		}
-		wantChunks := (size + 1023) / 1024
 		if len(f.Chunks) != wantChunks || f.NumChunks() != wantChunks {
 			t.Fatalf("size %d: chunks = %d, want %d", size, len(f.Chunks), wantChunks)
 		}
@@ -50,30 +51,34 @@ func TestFilenodeFreshKeysPerUpdate(t *testing.T) {
 	if _, err := f.EncryptContent(pt); err != nil {
 		t.Fatal(err)
 	}
-	firstKeys := make([]ChunkContext, len(f.Chunks))
-	copy(firstKeys, f.Chunks)
+	firstKey := f.ContentKey
+	firstCtx := make([]ChunkContext, len(f.Chunks))
+	copy(firstCtx, f.Chunks)
 	if _, err := f.EncryptContent(pt); err != nil {
 		t.Fatal(err)
 	}
+	if f.ContentKey == firstKey {
+		t.Fatal("content key reused across updates")
+	}
 	for i := range f.Chunks {
-		if f.Chunks[i].Key == firstKeys[i].Key {
-			t.Fatalf("chunk %d key reused across updates", i)
+		if f.Chunks[i].IV == firstCtx[i].IV {
+			t.Fatalf("chunk %d IV reused across updates", i)
 		}
 	}
 }
 
 func TestFilenodeChunkSwapDetected(t *testing.T) {
 	f := NewFilenode(uuid.New(), uuid.Nil, 16)
-	pt := bytes.Repeat([]byte{1}, 48) // 3 chunks
+	pt := bytes.Repeat([]byte{1}, 48) // 3 chunks; sealed stride 32
 	blob, err := f.EncryptContent(pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Swap chunks 0 and 1 in the data object AND their contexts — the
-	// position is bound via AAD, so even a consistent swap fails.
+	// Swap sealed chunks 0 and 1 in the data object AND their contexts —
+	// the position is bound via AAD, so even a consistent swap fails.
 	swapped := bytes.Clone(blob)
-	copy(swapped[0:16], blob[16:32])
-	copy(swapped[16:32], blob[0:16])
+	copy(swapped[0:32], blob[32:64])
+	copy(swapped[32:64], blob[0:32])
 	f.Chunks[0], f.Chunks[1] = f.Chunks[1], f.Chunks[0]
 	if _, err := f.DecryptContent(swapped); !errors.Is(err, ErrTampered) {
 		t.Fatalf("chunk swap accepted: %v", err)
@@ -92,17 +97,25 @@ func TestFilenodeTamperAndTruncationDetected(t *testing.T) {
 	if _, err := f.DecryptContent(mut); !errors.Is(err, ErrTampered) {
 		t.Fatalf("ciphertext flip accepted: %v", err)
 	}
-	if _, err := f.DecryptContent(blob[:99]); !errors.Is(err, ErrTampered) {
+	if _, err := f.DecryptContent(blob[:len(blob)-1]); !errors.Is(err, ErrTampered) {
 		t.Fatalf("truncation accepted: %v", err)
 	}
 	if _, err := f.DecryptContent(append(bytes.Clone(blob), 0)); !errors.Is(err, ErrTampered) {
 		t.Fatalf("extension accepted: %v", err)
 	}
+	// Flipping an inline tag byte must fail even though the ciphertext
+	// bytes are intact.
+	tagFlip := bytes.Clone(blob)
+	tagFlip[32+16-1] ^= 1 // last tag byte of chunk 0
+	if _, err := f.DecryptContent(tagFlip); !errors.Is(err, ErrTampered) {
+		t.Fatalf("inline tag flip accepted: %v", err)
+	}
 }
 
 func TestFilenodeCrossFileTransplantDetected(t *testing.T) {
 	// Data encrypted for one file must not decrypt under another file's
-	// filenode even if contexts are copied (AAD binds the data UUID).
+	// filenode even if the full crypto context is copied (AAD binds the
+	// data UUID).
 	f1 := NewFilenode(uuid.New(), uuid.Nil, 64)
 	f2 := NewFilenode(uuid.New(), uuid.Nil, 64)
 	pt := bytes.Repeat([]byte{5}, 64)
@@ -111,6 +124,7 @@ func TestFilenodeCrossFileTransplantDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	f2.Size = f1.Size
+	f2.ContentKey = f1.ContentKey
 	f2.Chunks = append([]ChunkContext(nil), f1.Chunks...)
 	if _, err := f2.DecryptContent(blob); !errors.Is(err, ErrTampered) {
 		t.Fatalf("cross-file transplant accepted: %v", err)
@@ -133,6 +147,9 @@ func TestFilenodeEncodeDecode(t *testing.T) {
 		got.ChunkSize != f.ChunkSize || got.LinkCount != 3 {
 		t.Fatalf("fields lost: %+v", got)
 	}
+	if got.ContentKey != f.ContentKey {
+		t.Fatal("content key lost")
+	}
 	if len(got.Chunks) != 3 {
 		t.Fatalf("chunks = %d", len(got.Chunks))
 	}
@@ -144,6 +161,23 @@ func TestFilenodeEncodeDecode(t *testing.T) {
 	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody()[:20]); err == nil {
 		t.Fatal("truncated filenode accepted")
 	}
+	// A decoded filenode must decrypt what the original sealed (the AAD
+	// cache is rebuilt, not serialized).
+	blob, err := f.EncryptContent(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := got.DecryptContent(blob)
+	if err != nil {
+		t.Fatalf("decoded filenode cannot decrypt: %v", err)
+	}
+	if !bytes.Equal(rt, pt) {
+		t.Fatal("decoded filenode round trip mismatch")
+	}
 }
 
 func TestFilenodeMetadataOverhead(t *testing.T) {
@@ -152,9 +186,39 @@ func TestFilenodeMetadataOverhead(t *testing.T) {
 	if _, err := f.EncryptContent(pt); err != nil {
 		t.Fatal(err)
 	}
-	// 44 bytes of context per 1 MiB chunk.
-	if got := f.MetadataOverhead(); got != 10*44 {
-		t.Fatalf("MetadataOverhead = %d, want %d", got, 10*44)
+	// One 16-byte content key per update plus 28 bytes (IV+tag) per
+	// 1 MiB chunk.
+	if got := f.MetadataOverhead(); got != 16+10*28 {
+		t.Fatalf("MetadataOverhead = %d, want %d", got, 16+10*28)
+	}
+}
+
+func TestFilenodeIntoBufferTooSmall(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.Nil, 1024)
+	pt := make([]byte, 4096)
+	if _, err := f.EncryptContentInto(make([]byte, 0, 10), pt, 1); err == nil {
+		t.Fatal("undersized encrypt destination accepted")
+	}
+	blob, err := f.EncryptContent(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecryptContentInto(make([]byte, 0, 10), blob, 1); err == nil {
+		t.Fatal("undersized decrypt destination accepted")
+	}
+	// And a correctly sized caller-owned buffer round-trips.
+	dst := make([]byte, 0, f.SealedSize(len(pt)))
+	sealed, err := f.EncryptContentInto(dst, pt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, len(pt))
+	got, err := f.DecryptContentInto(out, sealed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("Into round trip mismatch")
 	}
 }
 

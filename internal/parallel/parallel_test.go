@@ -3,23 +3,39 @@ package parallel
 import (
 	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
 
+// withProcs raises GOMAXPROCS for the duration of a test so fan-out
+// paths are exercised even on single-core CI slices (Workers clamps
+// every knob to GOMAXPROCS).
+func withProcs(t *testing.T, p int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(p)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 func TestWorkers(t *testing.T) {
-	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	withProcs(t, 4)
+	if got := Workers(0); got != 4 {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS 4", got)
 	}
 	if got := Workers(-3); got != 1 {
 		t.Fatalf("Workers(-3) = %d, want 1", got)
 	}
-	if got := Workers(7); got != 7 {
-		t.Fatalf("Workers(7) = %d, want 7", got)
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d, want 3", got)
+	}
+	// The clamp: a knob above GOMAXPROCS is a request, not a mandate.
+	if got := Workers(7); got != 4 {
+		t.Fatalf("Workers(7) = %d, want clamp to GOMAXPROCS 4", got)
 	}
 }
 
 func TestRangesCoversEveryIndexOnce(t *testing.T) {
+	withProcs(t, 8)
 	for _, workers := range []int{1, 2, 3, 8, 100} {
 		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
 			hits := make([]int32, n)
@@ -45,6 +61,7 @@ func TestRangesCoversEveryIndexOnce(t *testing.T) {
 }
 
 func TestRangesPropagatesError(t *testing.T) {
+	withProcs(t, 4)
 	boom := errors.New("boom")
 	var spans atomic.Int32
 	err := Ranges(64, 4, func(lo, hi int) error {
@@ -74,5 +91,34 @@ func TestRangesSerialRunsInline(t *testing.T) {
 	}
 	if local != 10 {
 		t.Fatalf("local = %d, want 10", local)
+	}
+}
+
+func TestSpanBoundsMatchesRanges(t *testing.T) {
+	withProcs(t, 8)
+	for _, w := range []int{1, 2, 3, 5, 8} {
+		for _, n := range []int{1, 2, 7, 64, 1000} {
+			eff := w
+			if eff > n {
+				eff = n
+			}
+			var mu sync.Mutex
+			got := make(map[int][2]int)
+			err := Ranges(n, w, func(lo, hi int) error {
+				mu.Lock()
+				got[lo] = [2]int{lo, hi}
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < eff; k++ {
+				lo, hi := SpanBounds(n, eff, k)
+				if s, ok := got[lo]; !ok || s != [2]int{lo, hi} {
+					t.Fatalf("n=%d w=%d span %d: SpanBounds [%d,%d) not produced by Ranges (got %v)", n, w, k, lo, hi, got)
+				}
+			}
+		}
 	}
 }

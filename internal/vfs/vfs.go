@@ -42,7 +42,10 @@ type VersionedStore struct {
 	versions map[string]uint64 // guarded by mu
 }
 
-var _ enclave.ObjectStore = (*VersionedStore)(nil)
+var (
+	_ enclave.ObjectStore       = (*VersionedStore)(nil)
+	_ enclave.StreamObjectStore = (*VersionedStore)(nil)
+)
 
 // NewVersionedStore wraps store.
 func NewVersionedStore(store backend.Store) *VersionedStore {
@@ -87,6 +90,33 @@ func (s *VersionedStore) PutVersioned(name string, data []byte) (uint64, error) 
 	v := s.versions[name]
 	s.mu.Unlock()
 	return v, nil
+}
+
+// PutVersionedStream implements enclave.StreamObjectStore by draining
+// the segment stream into one buffer and delegating to PutVersioned.
+// Local volumes have no transfer to overlap, so there is nothing to
+// gain from true streaming here — the adapter exists so the enclave's
+// encrypt-while-upload path is exercised (and testable) on local and
+// in-memory volumes, not just behind a live AFS client. The drained
+// copy is mandatory anyway: segment buffers belong to the producer and
+// are reused after the call returns.
+func (s *VersionedStore) PutVersionedStream(name string, total int, next func() ([]byte, error)) (uint64, error) {
+	defer s.span("store.put.stream").End()
+	buf := make([]byte, 0, total)
+	for {
+		seg, err := next()
+		if err != nil {
+			return 0, err
+		}
+		if seg == nil {
+			break
+		}
+		buf = append(buf, seg...)
+	}
+	if len(buf) != total {
+		return 0, fmt.Errorf("vfs: streamed put %s: got %d bytes, announced %d", name, len(buf), total)
+	}
+	return s.PutVersioned(name, buf)
 }
 
 // Delete implements enclave.ObjectStore.
