@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint lint-baseline fuzz-smoke chaos obs bench bench-baseline cover revoke-sweep vuln ci clean
+.PHONY: all build test race vet lint lint-baseline fuzz-smoke chaos obs bench bench-baseline cover revoke-sweep freshness-sweep merkle vuln ci clean
 
 all: build
 
@@ -40,6 +40,8 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/afs/
 	$(GO) test -run=^$$ -fuzz=FuzzRetrySchedule -fuzztime=$(FUZZTIME) ./internal/afs/
 	$(GO) test -run=^$$ -fuzz=FuzzGroupTreeDecode -fuzztime=$(FUZZTIME) ./internal/groupkey/
+	$(GO) test -run=^$$ -fuzz=FuzzMerkleProofDecode -fuzztime=$(FUZZTIME) ./internal/merkle/
+	$(GO) test -run=^$$ -fuzz=FuzzMerkleTreeDecode -fuzztime=$(FUZZTIME) ./internal/merkle/
 
 # chaos runs the seeded fault-injection suites under the race detector,
 # once per seed in CHAOS_SEEDS: the AFS transport suite
@@ -95,6 +97,26 @@ vuln:
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/metadata/ ./internal/gcmsiv/ ./internal/obs/ ./internal/groupkey/
 	$(GO) tool cover -func=cover.out | tail -1
+
+# merkle runs the Merkle-authenticated namespace's full verification
+# surface: the tree/proof unit and property tests, the seeded
+# merkle-vs-flat-table oracle, and the adversarial rollback/fork suite
+# (internal/enclave/rollback_test.go), all under the race detector.
+# Reproduce a property failure with NEXUS_MERKLE_SEED=<seed>. See
+# DESIGN.md §15.
+merkle:
+	$(GO) test -race -count=1 ./internal/merkle/
+	$(GO) test -race -count=1 -run 'TestFreshnessStore' ./internal/vfs/
+	$(GO) test -race -count=1 -run 'TestMerkle|TestRollback|TestFork|TestProofTampering|TestRootObject|TestPropertyMerkle' ./internal/enclave/
+
+# freshness-sweep reproduces the DESIGN.md §15 freshness-at-scale sweep
+# (10^3–10^6 objects) comparing per-load Merkle proof verification
+# (O(log n) evidence, 40-byte enclave state) against the flat version
+# table (O(n) both), and writes the rows into the JSON report for
+# nexus-benchdiff (informational proof_bytes/op column).
+freshness-sweep:
+	$(GO) run ./cmd/nexus-bench -exp freshness -json \
+		-objects 1000,10000,100000,1000000 -freshmode both
 
 # revoke-sweep reproduces the §VII-E membership sweep (10^3–10^6 users)
 # comparing the subgroup key tree's O(log n) revocation against the

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata]
+//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|freshness]
 //	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
 //	            [-entries N] [-transition duration] [-no-cache]
 //	            [-workers N] [-json] [-out FILE] [-crypto-workers LIST]
 //	            [-crypto-bytes N] [-members LIST] [-groupmode tree|flat|both]
+//	            [-objects LIST] [-freshmode merkle|flat|both]
 //
 // -exp also accepts a comma-separated list (e.g. -exp fileio,crypto) so
 // one report — and therefore one benchdiff gate — can cover several
@@ -47,7 +48,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|ablation")
+	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|freshness|ablation")
 	scale := flag.Int64("scale", 64, "divide workload file sizes by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "repetitions averaged per measurement")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated network round-trip time")
@@ -63,6 +64,8 @@ func run() error {
 	cryptoBytes := flag.Int64("crypto-bytes", 0, "chunk-crypto buffer size in bytes (0 = 16MiB divided by -scale)")
 	members := flag.String("members", "1000,10000,100000,1000000", "comma-separated membership sizes for the revoke-sweep experiment")
 	groupMode := flag.String("groupmode", "both", "revoke-sweep structures: tree|flat|both (flat is the O(n) re-wrap baseline)")
+	objects := flag.String("objects", "1000,10000,100000,1000000", "comma-separated namespace sizes for the freshness experiment")
+	freshMode := flag.String("freshmode", "both", "freshness schemes: merkle|flat|both (flat is the O(n) version-table baseline)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -187,6 +190,24 @@ func run() error {
 		bench.PrintMembership(os.Stdout, rows)
 		if report != nil {
 			report.Experiments["revoke_membership"] = bench.MembershipMetrics(rows)
+		}
+	}
+	if want("freshness") {
+		var counts []int
+		for _, s := range splitCSV(*objects) {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 2 {
+				return fmt.Errorf("bad -objects value %q", s)
+			}
+			counts = append(counts, n)
+		}
+		rows, err := bench.FreshnessSweep(counts, *freshMode, *runs*100)
+		if err != nil {
+			return fmt.Errorf("freshness: %w", err)
+		}
+		bench.PrintFreshness(os.Stdout, rows)
+		if report != nil {
+			report.Experiments["freshness_scale"] = bench.FreshnessMetrics(rows)
 		}
 	}
 	if want("sharing") {

@@ -109,6 +109,11 @@ type Delta struct {
 	// Informational only, like FlushRatio: wrap counts move by design
 	// when the key-tree geometry changes.
 	WrapRatio float64
+	// ProofBytesRatio compares freshness evidence bytes per metadata
+	// load (the freshness_scale sweep) when both reports carry the
+	// figure; zero otherwise. Informational only, like WrapRatio: proof
+	// sizes move by design when the namespace tree's geometry changes.
+	ProofBytesRatio float64
 }
 
 // CheckEnv reports whether two reports were produced on comparable
@@ -193,6 +198,9 @@ func DiffOpts(baseline, current *bench.Report, opts Options) ([]Delta, bool, err
 				}
 				if base.WrapsPerOp > 0 && cur.WrapsPerOp > 0 {
 					d.WrapRatio = cur.WrapsPerOp / base.WrapsPerOp
+				}
+				if base.ProofBytesPerOp > 0 && cur.ProofBytesPerOp > 0 {
+					d.ProofBytesRatio = cur.ProofBytesPerOp / base.ProofBytesPerOp
 				}
 			}
 			d.Regressed = d.Missing || d.NsRegressed || d.AllocsRegressed || d.MBsRegressed
@@ -300,6 +308,9 @@ func Format(w io.Writer, deltas []Delta, opts Options) {
 		}
 		if d.WrapRatio > 0 {
 			tails += fmt.Sprintf("  wraps/op %.2fx", d.WrapRatio)
+		}
+		if d.ProofBytesRatio > 0 {
+			tails += fmt.Sprintf("  proof B/op %.2fx", d.ProofBytesRatio)
 		}
 		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx %8s %8s%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, allocs, mbs, tails, flag)
 	}

@@ -284,3 +284,39 @@ func TestCheckSpeedup(t *testing.T) {
 		t.Fatal("zero threshold accepted")
 	}
 }
+
+func TestDiffProofBytesRatioIsInformational(t *testing.T) {
+	mk := func(ns, proofBytes float64) *bench.Report {
+		r := bench.NewReport("test", 1)
+		r.Add("freshness_scale", "merkle_1000_objects", bench.Metric{
+			NsPerOp:         ns,
+			ProofBytesPerOp: proofBytes,
+		})
+		return r
+	}
+	// Proof bytes triple (a geometry change) while ns/op holds: the
+	// ratio is reported but never gates.
+	deltas, regressed, err := Diff(mk(1000, 400), mk(1000, 1200), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("proof-bytes growth gated the diff: %+v", deltas)
+	}
+	if got := deltas[0].ProofBytesRatio; got < 2.99 || got > 3.01 {
+		t.Fatalf("ProofBytesRatio = %v, want 3.0", got)
+	}
+	var sb strings.Builder
+	Format(&sb, deltas, Options{Tolerance: 0.2})
+	if !strings.Contains(sb.String(), "proof B/op 3.00x") {
+		t.Fatalf("format missing informational proof-bytes tail:\n%s", sb.String())
+	}
+	// Absent on either side: ratio stays zero, nothing rendered.
+	deltas, _, err = Diff(mk(1000, 0), mk(1000, 1200), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].ProofBytesRatio != 0 {
+		t.Fatalf("ProofBytesRatio computed with missing baseline figure: %+v", deltas[0])
+	}
+}

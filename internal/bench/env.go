@@ -44,6 +44,10 @@ type Config struct {
 	DisableMetadataCache bool
 	// FreshnessTree enables the volume-wide version table (§VI-C).
 	FreshnessTree bool
+	// FreshnessMerkle enables the Merkle-authenticated namespace
+	// instead of the flat table (DESIGN.md §15). Mutually exclusive
+	// with FreshnessTree.
+	FreshnessMerkle bool
 	// Writeback selects the enclave's metadata flushing mode: "" or
 	// "on" batches dirty metadata at barriers (the client default);
 	// "off" flushes eagerly after every operation.
@@ -137,6 +141,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		TransitionCost:       cfg.TransitionCost,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
+		FreshnessMerkle:      cfg.FreshnessMerkle,
 		WritebackMode:        cfg.Writeback,
 		Obs:                  env.Obs,
 	})

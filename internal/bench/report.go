@@ -37,6 +37,11 @@ type Metric struct {
 	// wrap counts move by design when tree geometry changes.
 	WrapsPerOp float64 `json:"wraps_per_op,omitempty"`
 	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// ProofBytesPerOp is the freshness evidence transferred per metadata
+	// load, from the freshness_scale experiment: one encoded Merkle
+	// proof, or the whole flat table. Informational in the compare gate —
+	// proof size moves by design when tree geometry changes.
+	ProofBytesPerOp float64 `json:"proof_bytes_per_op,omitempty"`
 }
 
 // LatencyMetric converts a histogram snapshot into a Metric: the mean

@@ -95,6 +95,15 @@ var (
 	// ErrStaleMetadata reports a rollback: the storage service returned
 	// an object older than one this enclave has already seen (§VI-C).
 	ErrStaleMetadata = errors.New("enclave: stale metadata (rollback detected)")
+	// ErrStaleObject reports a rollback caught by merkle freshness mode:
+	// a served object (or the root commitment itself) is provably older
+	// than the volume state this enclave has committed to. It wraps
+	// ErrStaleMetadata so existing errors.Is checks keep matching.
+	ErrStaleObject = fmt.Errorf("%w: merkle freshness violation", ErrStaleMetadata)
+	// ErrBadProof reports a freshness proof that is malformed or does
+	// not verify against the enclave's root commitment — tampering or a
+	// misbehaving proof server, never silently accepted.
+	ErrBadProof = errors.New("enclave: freshness proof rejected")
 	// ErrStoreUnavailable reports that the backing store could not
 	// complete an ocall: the service was unreachable, the operation
 	// timed out, or a mutating exchange was interrupted with unknown
@@ -144,6 +153,13 @@ type Config struct {
 	// hierarchy rollback detection at the cost of an extra metadata
 	// object read/write per operation. See internal/enclave/freshness.go.
 	FreshnessTree bool
+	// FreshnessMerkle enables merkle freshness mode (DESIGN.md §15):
+	// the same rollback guarantee with O(1) enclave-resident state (a
+	// root hash plus an epoch) and O(log n) proof verification per
+	// metadata load. Requires Store to implement FreshnessProofStore
+	// (vfs.FreshnessStore wraps any plain store). Mutually exclusive
+	// with FreshnessTree, which remains as the transition oracle.
+	FreshnessMerkle bool
 	// Writeback selects the metadata flush policy. The zero value and
 	// WritebackOff seal and upload metadata eagerly on every mutation
 	// (the historical behaviour, and what direct Config consumers such
@@ -235,6 +251,15 @@ type Enclave struct {
 	cache     *metaCache
 	freshness map[uuid.UUID]uint64
 
+	// Merkle freshness mode: the enclave's entire freshness state is
+	// this root commitment and epoch — no per-object map (that is the
+	// O(1) claim the freshness-scale benchmark measures). proofStore is
+	// the store's FreshnessProofStore upgrade, asserted once in New.
+	proofStore FreshnessProofStore
+	mkRoot     [32]byte
+	mkEpoch    uint64
+	mkSeen     bool
+
 	// wb is the write-back dirty set (nil in eager mode); freshSink,
 	// when non-nil, absorbs freshness-table updates during a batch drain
 	// so the table is rewritten once per batch instead of once per
@@ -273,6 +298,9 @@ type enclaveMetrics struct {
 	groupWraps        *obs.Counter // enclave_groupkey_wraps_total
 	groupWrapBytes    *obs.Counter // enclave_groupkey_wrap_bytes_total
 	groupUnwraps      *obs.Counter // enclave_groupkey_unwraps_total
+	proofs            *obs.Counter // enclave_freshness_proofs_total
+	proofBytes        *obs.Counter // enclave_freshness_proof_bytes_total
+	rootUpdates       *obs.Counter // enclave_freshness_root_updates_total
 
 	// metaIO and dataIO meter the two ocall classes of the Table 5a/5b
 	// breakdowns (metadata fetch/store/lock vs encrypted file content).
@@ -308,6 +336,9 @@ func (m *enclaveMetrics) bind(reg *obs.Registry) {
 	m.groupWraps = reg.Counter("enclave_groupkey_wraps_total")
 	m.groupWrapBytes = reg.Counter("enclave_groupkey_wrap_bytes_total")
 	m.groupUnwraps = reg.Counter("enclave_groupkey_unwraps_total")
+	m.proofs = reg.Counter("enclave_freshness_proofs_total")
+	m.proofBytes = reg.Counter("enclave_freshness_proof_bytes_total")
+	m.rootUpdates = reg.Counter("enclave_freshness_root_updates_total")
 	m.metaIO = ocallMeter{ns: reg.Counter("enclave_metadata_io_ns_total"), lat: reg.Histogram("enclave_metadata_io_seconds")}
 	m.dataIO = ocallMeter{ns: reg.Counter("enclave_data_io_ns_total"), lat: reg.Histogram("enclave_data_io_seconds")}
 	m.tracer = reg.Tracer()
@@ -335,12 +366,24 @@ func New(cfg Config) (*Enclave, error) {
 	default:
 		return nil, fmt.Errorf("enclave: unknown Writeback mode %q", cfg.Writeback)
 	}
+	if cfg.FreshnessTree && cfg.FreshnessMerkle {
+		return nil, fmt.Errorf("enclave: FreshnessTree and FreshnessMerkle are mutually exclusive")
+	}
+	var proofStore FreshnessProofStore
+	if cfg.FreshnessMerkle {
+		ps, ok := cfg.Store.(FreshnessProofStore)
+		if !ok {
+			return nil, fmt.Errorf("enclave: FreshnessMerkle requires a store implementing FreshnessProofStore (wrap it in vfs.NewFreshnessStore)")
+		}
+		proofStore = ps
+	}
 	e := &Enclave{
-		sgx:       cfg.SGX,
-		store:     cfg.Store,
-		ias:       cfg.IAS,
-		cfg:       cfg,
-		freshness: make(map[uuid.UUID]uint64),
+		sgx:        cfg.SGX,
+		store:      cfg.Store,
+		ias:        cfg.IAS,
+		cfg:        cfg,
+		freshness:  make(map[uuid.UUID]uint64),
+		proofStore: proofStore,
 	}
 	if cfg.Writeback == WritebackOn {
 		//lint:ignore lock-discipline construction: the enclave is not yet shared
@@ -411,6 +454,9 @@ func (e *Enclave) ResetStats() {
 	m.groupWraps.Reset()
 	m.groupWrapBytes.Reset()
 	m.groupUnwraps.Reset()
+	m.proofs.Reset()
+	m.proofBytes.Reset()
+	m.rootUpdates.Reset()
 	e.sgx.ResetStats()
 }
 
@@ -741,7 +787,14 @@ func (e *Enclave) loadSupernodeLocked() error {
 	if p.Type != metadata.TypeSupernode {
 		return fmt.Errorf("%w: object %q is a %s", metadata.ErrMalformed, SupernodeObjectName, p.Type)
 	}
-	if last, ok := e.freshness[p.UUID]; ok && p.Version < last {
+	if e.cfg.FreshnessMerkle {
+		// The supernode's version is bound to the root commitment like
+		// every other metadata object — a whole-snapshot rollback fails
+		// right here, before authentication can proceed.
+		if err := e.checkFreshnessMerkleLocked(p.UUID, p.Version); err != nil {
+			return err
+		}
+	} else if last, ok := e.freshness[p.UUID]; ok && p.Version < last {
 		return fmt.Errorf("%w: supernode version %d < seen %d", ErrStaleMetadata, p.Version, last)
 	}
 	super, err := metadata.DecodeSupernodeBody(body)
@@ -751,7 +804,7 @@ func (e *Enclave) loadSupernodeLocked() error {
 	e.super = super
 	e.superBlob = blob
 	e.superVersion = p.Version
-	e.freshness[p.UUID] = p.Version
+	e.noteSeenLocked(p.UUID, p.Version)
 	_ = version
 	return nil
 }
@@ -777,7 +830,7 @@ func (e *Enclave) flushSupernodeLocked() error {
 		return fmt.Errorf("uploading supernode: %w", err)
 	}
 	e.superBlob = blob
-	e.freshness[e.super.VolumeUUID] = e.superVersion
+	e.noteSeenLocked(e.super.VolumeUUID, e.superVersion)
 	e.metrics.metadataFlushes.Inc()
 	e.metrics.metadataBytes.Add(int64(len(blob)))
 	return e.recordFreshnessLocked(map[uuid.UUID]uint64{e.super.VolumeUUID: e.superVersion})

@@ -112,18 +112,21 @@ var freshTableID = uuid.UUID{0xff, 0xfe}
 // metadata locks; the table has its own store lock to serialize
 // concurrent writers.
 func (e *Enclave) recordFreshnessLocked(updates map[uuid.UUID]uint64) error {
-	if !e.cfg.FreshnessTree {
+	if !e.cfg.FreshnessTree && !e.cfg.FreshnessMerkle {
 		return nil
 	}
 	// During a write-back batch drain the per-object updates collect in
-	// freshSink and the table is rewritten once at the end of the batch
-	// (drainLocked); a stale-low table entry is safe in the interim —
-	// checkFreshnessLocked only rejects versions *below* the table.
+	// freshSink and the table (or merkle root) is rewritten once at the
+	// end of the batch (drainLocked); a stale-low entry is safe in the
+	// interim — checkFreshnessLocked only rejects versions *below* it.
 	if e.freshSink != nil {
 		for id, v := range updates {
 			e.freshSink[id] = v
 		}
 		return nil
+	}
+	if e.cfg.FreshnessMerkle {
+		return e.recordFreshnessMerkleLocked(updates)
 	}
 	release, err := e.lockObject(FreshnessObjectName)
 	if err != nil {
@@ -165,6 +168,9 @@ func (e *Enclave) recordFreshnessLocked(updates map[uuid.UUID]uint64) error {
 // newer than the last table the attacker could have recorded, and their
 // own AEAD protects them.
 func (e *Enclave) checkFreshnessLocked(id uuid.UUID, version uint64) error {
+	if e.cfg.FreshnessMerkle {
+		return e.checkFreshnessMerkleLocked(id, version)
+	}
 	if !e.cfg.FreshnessTree {
 		return nil
 	}
@@ -181,4 +187,15 @@ func (e *Enclave) checkFreshnessLocked(id uuid.UUID, version uint64) error {
 			ErrStaleMetadata, id, version, want)
 	}
 	return nil
+}
+
+// noteSeenLocked records the newest seen version of an object in the
+// per-object freshness map. Merkle mode keeps no per-object state — the
+// root commitment subsumes the map — so it is a no-op there; that empty
+// map is exactly the O(1) enclave-residency the mode exists for.
+func (e *Enclave) noteSeenLocked(id uuid.UUID, version uint64) {
+	if e.cfg.FreshnessMerkle {
+		return
+	}
+	e.freshness[id] = version
 }

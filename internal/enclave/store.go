@@ -277,7 +277,7 @@ func (e *Enclave) openBlobChecked(id uuid.UUID, blob []byte, wantType metadata.O
 	if err := e.checkFreshnessLocked(id, p.Version); err != nil {
 		return metadata.Preamble{}, nil, err
 	}
-	e.freshness[id] = p.Version
+	e.noteSeenLocked(id, p.Version)
 	return p, body, nil
 }
 
@@ -415,13 +415,13 @@ func (e *Enclave) flushDirnodeLocked(d *metadata.Dirnode, version uint64) error 
 		b.UUID = pl.newUUID
 		b.Dirty = false
 		b.OnStore = true
-		e.freshness[pl.newUUID] = version
+		e.noteSeenLocked(pl.newUUID, version)
 		freshUpdates[pl.newUUID] = version
 		e.metrics.metadataFlushes.Inc()
 		e.metrics.metadataBytes.Add(int64(len(pl.blob)))
 	}
 	d.Refs, d.Retired = stagedRefs, stagedRetired
-	e.freshness[d.UUID] = version
+	e.noteSeenLocked(d.UUID, version)
 	e.metrics.metadataFlushes.Inc()
 	e.metrics.metadataBytes.Add(int64(len(mainBlob)))
 	if e.cache != nil {
@@ -492,7 +492,7 @@ func (e *Enclave) flushFilenodeLocked(f *metadata.Filenode, version uint64) erro
 	if err != nil {
 		return fmt.Errorf("uploading filenode %s: %w", f.UUID, err)
 	}
-	e.freshness[f.UUID] = version
+	e.noteSeenLocked(f.UUID, version)
 	e.metrics.metadataFlushes.Inc()
 	e.metrics.metadataBytes.Add(int64(len(blob)))
 	if e.cache != nil {

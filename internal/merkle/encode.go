@@ -1,0 +1,140 @@
+package merkle
+
+import (
+	"fmt"
+
+	"nexus/internal/serial"
+	"nexus/internal/uuid"
+)
+
+// treeFormat versions the tree encoding (DESIGN.md §15).
+const treeFormat = 1
+
+// Encode serializes the tree: a format byte, the leaf count, then the
+// trie in preorder. The trie is canonical, so the encoding is a pure
+// function of the key/version set.
+func (t *Tree) Encode() []byte {
+	w := serial.NewWriter(6 + t.size*(2+uuid.Size+8+1))
+	w.WriteUint8(treeFormat)
+	w.WriteUint32(uint32(t.size))
+	var enc func(n *node)
+	enc = func(n *node) {
+		if n.bit < 0 {
+			w.WriteUint8(0)
+			w.WriteRaw(n.id[:])
+			w.WriteUint64(n.version)
+			return
+		}
+		w.WriteUint8(1)
+		w.WriteUint8(uint8(n.bit))
+		enc(n.left)
+		enc(n.right)
+	}
+	if t.root != nil {
+		enc(t.root)
+	}
+	return w.Bytes()
+}
+
+// pathBit is one ancestor constraint during decode: the subtree being
+// read holds only keys whose bit `bit` equals `dir`.
+type pathBit struct {
+	bit, dir int
+}
+
+// DecodeTree parses an encoded tree, enforcing canonical geometry:
+// branch bits strictly increase root→leaf, every leaf's key satisfies
+// all ancestor bit constraints (so lookups route to it), no leaf
+// stores version 0, the declared leaf count matches, and the input is
+// consumed exactly. Hashes are recomputed, never trusted from the
+// wire. A hostile encoding therefore cannot smuggle in a tree whose
+// shape disagrees with its own keys.
+func DecodeTree(data []byte) (*Tree, error) {
+	r := serial.NewReader(data)
+	if f := r.ReadUint8("merkle tree format"); r.Err() == nil && f != treeFormat {
+		return nil, fmt.Errorf("%w: unknown tree format %d", ErrMalformed, f)
+	}
+	declared := int(r.ReadUint32("merkle leaf count"))
+	if r.Err() == nil && declared > MaxLeaves {
+		return nil, fmt.Errorf("%w: %d leaves exceeds the %d cap", ErrMalformed, declared, MaxLeaves)
+	}
+	t := &Tree{}
+	if declared > 0 {
+		var path []pathBit
+		root, leaves, _, err := decodeNode(r, -1, &path)
+		if err != nil {
+			return nil, err
+		}
+		if leaves != declared {
+			return nil, fmt.Errorf("%w: declared %d leaves, found %d", ErrMalformed, declared, leaves)
+		}
+		t.root, t.size = root, leaves
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return t, nil
+}
+
+// decodeNode returns the subtree, its leaf count, and a representative
+// key (its first leaf). The representative is what lets the caller
+// check each branch bit is the *first* diverging bit of its key set:
+// ancestor constraints alone would accept a branch hung below the real
+// crit bit, yielding a routable but non-canonical tree.
+func decodeNode(r *serial.Reader, parentBit int, path *[]pathBit) (*node, int, uuid.UUID, error) {
+	var rep uuid.UUID
+	tag := r.ReadUint8("merkle node tag")
+	if err := r.Err(); err != nil {
+		return nil, 0, rep, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	switch tag {
+	case 0:
+		var id uuid.UUID
+		r.ReadRawInto(id[:], "merkle leaf id")
+		version := r.ReadUint64("merkle leaf version")
+		if err := r.Err(); err != nil {
+			return nil, 0, rep, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if version == 0 {
+			return nil, 0, rep, fmt.Errorf("%w: leaf %s stores version 0", ErrMalformed, id)
+		}
+		for _, pb := range *path {
+			if bitOf(id, pb.bit) != pb.dir {
+				return nil, 0, rep, fmt.Errorf("%w: leaf %s violates ancestor bit %d", ErrMalformed, id, pb.bit)
+			}
+		}
+		return newLeaf(id, version), 1, id, nil
+	case 1:
+		bit := int(r.ReadUint8("merkle branch bit"))
+		if err := r.Err(); err != nil {
+			return nil, 0, rep, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if bit >= KeyBits {
+			return nil, 0, rep, fmt.Errorf("%w: branch bit %d out of range", ErrMalformed, bit)
+		}
+		if bit <= parentBit {
+			return nil, 0, rep, fmt.Errorf("%w: branch bit %d under ancestor bit %d", ErrMalformed, bit, parentBit)
+		}
+		*path = append(*path, pathBit{bit: bit, dir: 0})
+		left, nl, lrep, err := decodeNode(r, bit, path)
+		if err != nil {
+			return nil, 0, rep, err
+		}
+		(*path)[len(*path)-1].dir = 1
+		right, nr, rrep, err := decodeNode(r, bit, path)
+		*path = (*path)[:len(*path)-1]
+		if err != nil {
+			return nil, 0, rep, err
+		}
+		// Canonical shape: this node must branch on the first bit where
+		// its two sides diverge. Subtree-internal agreement below their
+		// own branch bits holds by induction, so one representative per
+		// side decides it.
+		if critBit(lrep, rrep) != bit {
+			return nil, 0, rep, fmt.Errorf("%w: branch bit %d is not the first diverging bit", ErrMalformed, bit)
+		}
+		return newInner(bit, left, right), nl + nr, lrep, nil
+	default:
+		return nil, 0, rep, fmt.Errorf("%w: unknown node tag %d", ErrMalformed, tag)
+	}
+}

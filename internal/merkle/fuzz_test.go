@@ -1,0 +1,93 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzMerkleProofDecode checks that DecodeProof either rejects the
+// input with ErrMalformed or yields a proof whose re-encoding is
+// byte-identical (the wire format is canonical), and that Verify and
+// NewRoot never panic on whatever survives decoding.
+func FuzzMerkleProofDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	ids := testUUIDs(2, 40)
+	for i, id := range ids {
+		tr.Set(id, uint64(i)+1)
+	}
+	f.Add((&Proof{}).Encode())
+	f.Add(tr.Prove(ids[0]).Encode())
+	f.Add(tr.Prove(ids[17]).Encode())
+	f.Add(tr.Prove(testUUID(rng)).Encode()) // absence proof
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProof(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("DecodeProof error is not ErrMalformed: %v", err)
+			}
+			return
+		}
+		if out := p.Encode(); !bytes.Equal(out, data) {
+			t.Fatalf("re-encode is not canonical:\n in  %x\n out %x", data, out)
+		}
+		// Verify/NewRoot must fail closed, never panic, whatever the
+		// proof contents.
+		if _, _, err := p.Verify(EmptyRoot(), p.LeafID); err != nil &&
+			!errors.Is(err, ErrBadProof) && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("Verify returned untyped error: %v", err)
+		}
+		if _, err := p.NewRoot(tr.Root(), p.LeafID, 7); err != nil &&
+			!errors.Is(err, ErrBadProof) && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("NewRoot returned untyped error: %v", err)
+		}
+	})
+}
+
+// FuzzMerkleTreeDecode checks that DecodeTree either rejects the input
+// with ErrMalformed or yields a tree that is truly canonical: its
+// re-encoding is byte-identical, its leaves rebuild to the same root
+// via Set, and every leaf carries a verifying membership proof.
+func FuzzMerkleTreeDecode(f *testing.F) {
+	empty := New()
+	f.Add(empty.Encode())
+	for _, n := range []int{1, 2, 9} {
+		tr := New()
+		for i, id := range testUUIDs(int64(n), n) {
+			tr.Set(id, uint64(i)+1)
+		}
+		f.Add(tr.Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTree(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("DecodeTree error is not ErrMalformed: %v", err)
+			}
+			return
+		}
+		if out := tr.Encode(); !bytes.Equal(out, data) {
+			t.Fatalf("re-encode is not canonical:\n in  %x\n out %x", data, out)
+		}
+		leaves := tr.Leaves()
+		if len(leaves) != tr.Len() {
+			t.Fatalf("Len()=%d but %d leaves", tr.Len(), len(leaves))
+		}
+		rebuilt := New()
+		for _, lf := range leaves {
+			rebuilt.Set(lf.ID, lf.Version)
+		}
+		if rebuilt.Root() != tr.Root() {
+			t.Fatalf("decoded tree is not canonical: rebuilt root differs")
+		}
+		root := tr.Root()
+		for _, lf := range leaves {
+			v, present, err := tr.Prove(lf.ID).Verify(root, lf.ID)
+			if err != nil || !present || v != lf.Version {
+				t.Fatalf("leaf %s does not prove: v=%d present=%v err=%v", lf.ID, v, present, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,435 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nexus/internal/uuid"
+)
+
+// testUUID derives a deterministic UUID from a seeded source.
+func testUUID(rng *rand.Rand) uuid.UUID {
+	var id uuid.UUID
+	rng.Read(id[:])
+	return id
+}
+
+func testUUIDs(seed int64, n int) []uuid.UUID {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]uuid.UUID, n)
+	for i := range ids {
+		ids[i] = testUUID(rng)
+	}
+	return ids
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.Root() != EmptyRoot() {
+		t.Fatalf("empty tree root != EmptyRoot")
+	}
+	if _, ok := tr.Lookup(uuid.UUID{1}); ok {
+		t.Fatalf("Lookup on empty tree reported presence")
+	}
+	p := tr.Prove(uuid.UUID{1})
+	if p.HasLeaf || len(p.Steps) != 0 {
+		t.Fatalf("empty-tree proof has leaf/steps: %+v", p)
+	}
+	v, present, err := p.Verify(tr.Root(), uuid.UUID{1})
+	if err != nil || present || v != 0 {
+		t.Fatalf("empty-tree absence proof: v=%d present=%v err=%v", v, present, err)
+	}
+	// The same proof against a non-empty root must fail.
+	other := New()
+	other.Set(uuid.UUID{2}, 1)
+	if _, _, err := p.Verify(other.Root(), uuid.UUID{1}); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("empty proof vs non-empty root: err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestSetLookupDelete(t *testing.T) {
+	ids := testUUIDs(7, 200)
+	tr := New()
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	if tr.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ids))
+	}
+	for i, id := range ids {
+		v, ok := tr.Lookup(id)
+		if !ok || v != uint64(i+1) {
+			t.Fatalf("Lookup(%s) = %d,%v want %d,true", id, v, ok, i+1)
+		}
+	}
+	// Update half in place; size must not change.
+	for i, id := range ids {
+		if i%2 == 0 {
+			tr.Set(id, uint64(1000+i))
+		}
+	}
+	if tr.Len() != len(ids) {
+		t.Fatalf("Len after updates = %d, want %d", tr.Len(), len(ids))
+	}
+	// Delete the other half.
+	for i, id := range ids {
+		if i%2 == 1 {
+			tr.Set(id, 0)
+		}
+	}
+	if tr.Len() != len(ids)/2 {
+		t.Fatalf("Len after deletes = %d, want %d", tr.Len(), len(ids)/2)
+	}
+	for i, id := range ids {
+		v, ok := tr.Lookup(id)
+		if i%2 == 1 {
+			if ok {
+				t.Fatalf("deleted %s still present", id)
+			}
+		} else if !ok || v != uint64(1000+i) {
+			t.Fatalf("Lookup(%s) = %d,%v want %d,true", id, v, ok, 1000+i)
+		}
+	}
+	// Deleting an absent key is a no-op.
+	before := tr.Root()
+	tr.Set(ids[1], 0)
+	if tr.Root() != before {
+		t.Fatalf("deleting absent key changed the root")
+	}
+}
+
+// TestCanonicalRoot: the root must be a pure function of the final
+// key/version set, independent of operation order.
+func TestCanonicalRoot(t *testing.T) {
+	ids := testUUIDs(11, 64)
+	a, b := New(), New()
+	for i, id := range ids {
+		a.Set(id, uint64(i+1))
+	}
+	perm := rand.New(rand.NewSource(13)).Perm(len(ids))
+	for _, i := range perm {
+		b.Set(ids[i], uint64(i+1))
+	}
+	// Churn b: insert and remove extra keys.
+	extra := testUUIDs(17, 32)
+	for _, id := range extra {
+		b.Set(id, 9)
+	}
+	for _, id := range extra {
+		b.Set(id, 0)
+	}
+	if a.Root() != b.Root() {
+		t.Fatalf("same key set, different roots")
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatalf("same key set, different encodings")
+	}
+}
+
+func TestMembershipAndAbsenceProofs(t *testing.T) {
+	ids := testUUIDs(23, 300)
+	tr := New()
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	root := tr.Root()
+	for i, id := range ids {
+		p := tr.Prove(id)
+		v, present, err := p.Verify(root, id)
+		if err != nil || !present || v != uint64(i+1) {
+			t.Fatalf("membership proof for %s: v=%d present=%v err=%v", id, v, present, err)
+		}
+	}
+	for _, id := range testUUIDs(29, 100) {
+		p := tr.Prove(id)
+		_, present, err := p.Verify(root, id)
+		if err != nil || present {
+			t.Fatalf("absence proof for %s: present=%v err=%v", id, present, err)
+		}
+	}
+}
+
+func TestProofRejectsTampering(t *testing.T) {
+	ids := testUUIDs(31, 50)
+	tr := New()
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	root := tr.Root()
+	id := ids[7]
+
+	// Tampered leaf version.
+	p := tr.Prove(id)
+	p.LeafVersion++
+	if _, _, err := p.Verify(root, id); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered version: err = %v, want ErrBadProof", err)
+	}
+	// Tampered sibling hash.
+	p = tr.Prove(id)
+	p.Steps[0].Sibling[0] ^= 1
+	if _, _, err := p.Verify(root, id); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered sibling: err = %v, want ErrBadProof", err)
+	}
+	// Truncated path.
+	p = tr.Prove(id)
+	p.Steps = p.Steps[:len(p.Steps)-1]
+	if _, _, err := p.Verify(root, id); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("truncated path: err = %v, want ErrBadProof", err)
+	}
+	// A different key's proof must not verify for id (fake absence).
+	p = tr.Prove(ids[8])
+	if _, _, err := p.Verify(root, id); err == nil {
+		t.Fatalf("proof for %s accepted for %s", ids[8], id)
+	}
+	// Stale proof: from before an update of the same leaf.
+	p = tr.Prove(id)
+	tr2 := tr.Clone()
+	tr2.Set(id, 999)
+	if _, _, err := p.Verify(tr2.Root(), id); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("stale proof: err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestProofWireRoundTrip(t *testing.T) {
+	ids := testUUIDs(37, 40)
+	tr := New()
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	for _, id := range append(ids[:5:5], testUUIDs(41, 5)...) {
+		p := tr.Prove(id)
+		enc := p.Encode()
+		got, err := DecodeProof(enc)
+		if err != nil {
+			t.Fatalf("DecodeProof: %v", err)
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatalf("re-encode mismatch")
+		}
+		if _, _, err := got.Verify(tr.Root(), id); err != nil {
+			t.Fatalf("decoded proof does not verify: %v", err)
+		}
+	}
+	// Empty-tree proof round trip.
+	p := New().Prove(ids[0])
+	got, err := DecodeProof(p.Encode())
+	if err != nil || got.HasLeaf {
+		t.Fatalf("empty proof round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestDecodeProofRejectsMalformed(t *testing.T) {
+	tr := New()
+	for i, id := range testUUIDs(43, 20) {
+		tr.Set(id, uint64(i+1))
+	}
+	good := tr.Prove(testUUIDs(43, 1)[0]).Encode()
+
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad format":    append([]byte{99}, good[1:]...),
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0),
+		"bad leaf flag": append([]byte{1, 7}, good[2:]...),
+		"steps no leaf": (&Proof{Steps: []ProofStep{{Bit: 5}}}).Encode(),
+		"version zero": func() []byte {
+			p := &Proof{HasLeaf: true, LeafID: uuid.UUID{1}, LeafVersion: 0}
+			return p.Encode()
+		}(),
+		"bits not increasing": func() []byte {
+			p := &Proof{HasLeaf: true, LeafID: uuid.UUID{1}, LeafVersion: 1,
+				Steps: []ProofStep{{Bit: 9}, {Bit: 9}}}
+			return p.Encode()
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeProof(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestTreeEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 256} {
+		tr := New()
+		for i, id := range testUUIDs(int64(47+n), n) {
+			tr.Set(id, uint64(i+1))
+		}
+		enc := tr.Encode()
+		got, err := DecodeTree(enc)
+		if err != nil {
+			t.Fatalf("n=%d: DecodeTree: %v", n, err)
+		}
+		if got.Len() != n || got.Root() != tr.Root() {
+			t.Fatalf("n=%d: round trip Len=%d Root match=%v", n, got.Len(), got.Root() == tr.Root())
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatalf("n=%d: re-encode mismatch", n)
+		}
+	}
+}
+
+func TestDecodeTreeRejectsMalformed(t *testing.T) {
+	tr := New()
+	ids := testUUIDs(53, 8)
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	good := tr.Encode()
+
+	flip := func(off int, val byte) []byte {
+		b := append([]byte{}, good...)
+		b[off] = val
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad format":  flip(0, 99),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte{}, good...), 0),
+		"wrong count": flip(1, good[1]+1), // count is little-endian; bump the low byte
+		"bad tag":     flip(5, 7),
+	}
+	for name, data := range cases {
+		if _, err := DecodeTree(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+
+	}
+
+	// Geometry violations built by hand (counts and versions are
+	// little-endian): a leaf placed in the wrong subtree, non-increasing
+	// branch bits, a zero-version leaf, and a branch hung below its key
+	// set's first diverging bit (routable, but not canonical).
+	leaf := func(id uuid.UUID) []byte {
+		b := []byte{0}
+		b = append(b, id[:]...)
+		return append(b, 1, 0, 0, 0, 0, 0, 0, 0)
+	}
+	// Branch on bit 0 with both leaves having bit 0 = 0.
+	var l0, l1 uuid.UUID
+	l0[0], l1[0] = 0x00, 0x01
+	bad := []byte{treeFormat, 2, 0, 0, 0, 1, 0}
+	bad = append(bad, leaf(l0)...)
+	bad = append(bad, leaf(l1)...) // bit 0 of l1 is 0, placed right
+	if _, err := DecodeTree(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("leaf outside subtree: err = %v, want ErrMalformed", err)
+	}
+	// Child branch bit not above the parent's.
+	var r0, r1, r2 uuid.UUID
+	r0[0], r1[0], r2[0] = 0x00, 0x80, 0xc0
+	nested := []byte{treeFormat, 3, 0, 0, 0, 1, 3}
+	nested = append(nested, leaf(r0)...)
+	nested = append(nested, 1, 2) // inner bit 2 under parent bit 3
+	nested = append(nested, leaf(r1)...)
+	nested = append(nested, leaf(r2)...)
+	if _, err := DecodeTree(nested); !errors.Is(err, ErrMalformed) {
+		t.Errorf("non-increasing bits: err = %v, want ErrMalformed", err)
+	}
+	// Zero-version leaf.
+	zv := []byte{treeFormat, 1, 0, 0, 0, 0}
+	zv = append(zv, l0[:]...)
+	zv = append(zv, 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := DecodeTree(zv); !errors.Is(err, ErrMalformed) {
+		t.Errorf("zero version: err = %v, want ErrMalformed", err)
+	}
+	// Branch at bit 1 over keys whose first diverging bit is 0: every
+	// leaf satisfies its ancestor constraints, so only the crit-bit
+	// check catches it.
+	var c0, c1 uuid.UUID
+	c0[0], c1[0] = 0x00, 0xc0 // diverge at bit 0; both sides of a bit-1 branch still route
+	low := []byte{treeFormat, 2, 0, 0, 0, 1, 1}
+	low = append(low, leaf(c0)...)
+	low = append(low, leaf(c1)...)
+	if _, err := DecodeTree(low); !errors.Is(err, ErrMalformed) {
+		t.Errorf("branch below crit bit: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tr := New()
+	ids := testUUIDs(59, 50)
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	snap := tr.Clone()
+	root := tr.Root()
+	for i, id := range ids {
+		tr.Set(id, uint64(100+i))
+	}
+	tr.Set(ids[0], 0)
+	if snap.Root() != root {
+		t.Fatalf("clone changed under mutation of the original")
+	}
+	if v, ok := snap.Lookup(ids[0]); !ok || v != 1 {
+		t.Fatalf("clone lost a leaf: %d %v", v, ok)
+	}
+}
+
+func TestLeavesOrdered(t *testing.T) {
+	tr := New()
+	ids := testUUIDs(61, 100)
+	for i, id := range ids {
+		tr.Set(id, uint64(i+1))
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != len(ids) {
+		t.Fatalf("Leaves len = %d, want %d", len(leaves), len(ids))
+	}
+	for i := 1; i < len(leaves); i++ {
+		if bytes.Compare(leaves[i-1].ID[:], leaves[i].ID[:]) >= 0 {
+			t.Fatalf("leaves not in canonical order at %d", i)
+		}
+	}
+}
+
+func TestNewRootFolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tr := New()
+	// Interleave inserts, updates and deletes; after each op the root
+	// folded from the pre-op proof must equal the real tree's root.
+	var live []uuid.UUID
+	for op := 0; op < 500; op++ {
+		var id uuid.UUID
+		var version uint64
+		switch {
+		case len(live) > 0 && op%5 == 3: // update
+			id = live[rng.Intn(len(live))]
+			version = uint64(op + 1)
+		case len(live) > 0 && op%5 == 4: // delete
+			i := rng.Intn(len(live))
+			id = live[i]
+			live = append(live[:i], live[i+1:]...)
+			version = 0
+		default: // insert
+			id = testUUID(rng)
+			live = append(live, id)
+			version = uint64(op + 1)
+		}
+		proof := tr.Prove(id)
+		oldRoot := tr.Root()
+		tr.Set(id, version)
+		folded, err := proof.NewRoot(oldRoot, id, version)
+		if err != nil {
+			t.Fatalf("op %d: NewRoot: %v", op, err)
+		}
+		if folded != tr.Root() {
+			t.Fatalf("op %d: folded root diverges from the tree", op)
+		}
+	}
+	// NewRoot must reject a proof that does not verify.
+	p := tr.Prove(live[0])
+	p.LeafVersion++
+	if _, err := p.NewRoot(tr.Root(), live[0], 7); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("NewRoot on tampered proof: err = %v, want ErrBadProof", err)
+	}
+}

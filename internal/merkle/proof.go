@@ -1,0 +1,208 @@
+package merkle
+
+import (
+	"fmt"
+
+	"nexus/internal/serial"
+	"nexus/internal/uuid"
+)
+
+// proofFormat versions the proof wire encoding (DESIGN.md §15).
+const proofFormat = 1
+
+// ProofStep is one branch node on the lookup path: the bit it branches
+// on and the hash of the subtree the path did *not* take. The taken
+// direction is not encoded — the verifier recomputes it from the lookup
+// key's bit, which is exactly what binds the proof to that key.
+type ProofStep struct {
+	Bit     uint8
+	Sibling [HashSize]byte
+}
+
+// Proof authenticates the presence or absence of one key against a
+// root hash. Steps run root→leaf with strictly increasing bits. The
+// terminal leaf is the lookup key's leaf when present; otherwise it is
+// the witness leaf occupying the slot the key's bits route to, whose
+// verified position proves the key absent. HasLeaf is false only for
+// the empty tree.
+type Proof struct {
+	HasLeaf     bool
+	LeafID      uuid.UUID
+	LeafVersion uint64
+	Steps       []ProofStep
+}
+
+// Encode serializes the proof (format byte, leaf, steps).
+func (p *Proof) Encode() []byte {
+	w := serial.NewWriter(2 + uuid.Size + 8 + 1 + len(p.Steps)*(1+HashSize))
+	w.WriteUint8(proofFormat)
+	w.WriteBool(p.HasLeaf)
+	if p.HasLeaf {
+		w.WriteRaw(p.LeafID[:])
+		w.WriteUint64(p.LeafVersion)
+	}
+	w.WriteUint8(uint8(len(p.Steps)))
+	for _, s := range p.Steps {
+		w.WriteUint8(s.Bit)
+		w.WriteRaw(s.Sibling[:])
+	}
+	return w.Bytes()
+}
+
+// DecodeProof parses and validates a proof: exact consumption, bits
+// strictly increasing and in range, no steps without a leaf, no
+// zero-version leaf (version 0 means deletion and is never stored).
+func DecodeProof(data []byte) (*Proof, error) {
+	r := serial.NewReader(data)
+	if f := r.ReadUint8("merkle proof format"); r.Err() == nil && f != proofFormat {
+		return nil, fmt.Errorf("%w: unknown proof format %d", ErrMalformed, f)
+	}
+	p := &Proof{}
+	p.HasLeaf = r.ReadBool("merkle proof leaf flag")
+	if p.HasLeaf {
+		r.ReadRawInto(p.LeafID[:], "merkle proof leaf id")
+		p.LeafVersion = r.ReadUint64("merkle proof leaf version")
+	}
+	n := int(r.ReadUint8("merkle proof step count"))
+	for i := 0; i < n; i++ {
+		var s ProofStep
+		s.Bit = r.ReadUint8("merkle proof step bit")
+		r.ReadRawInto(s.Sibling[:], "merkle proof step sibling")
+		p.Steps = append(p.Steps, s)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if err := p.validateShape(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// validateShape checks the key-independent geometry rules.
+func (p *Proof) validateShape() error {
+	if !p.HasLeaf {
+		if len(p.Steps) != 0 {
+			return fmt.Errorf("%w: empty-tree proof carries %d steps", ErrMalformed, len(p.Steps))
+		}
+		return nil
+	}
+	if p.LeafVersion == 0 {
+		return fmt.Errorf("%w: leaf version 0 is never stored", ErrMalformed)
+	}
+	last := -1
+	for _, s := range p.Steps {
+		if int(s.Bit) >= KeyBits {
+			return fmt.Errorf("%w: step bit %d out of range", ErrMalformed, s.Bit)
+		}
+		if int(s.Bit) <= last {
+			return fmt.Errorf("%w: step bits must strictly increase (%d after %d)", ErrMalformed, s.Bit, last)
+		}
+		last = int(s.Bit)
+	}
+	return nil
+}
+
+// validateFor applies the key-dependent rules: the path must be the
+// lookup path of id, so the terminal leaf agrees with id on every
+// branch bit (whether it is id's own leaf or an absence witness).
+func (p *Proof) validateFor(id uuid.UUID) error {
+	if err := p.validateShape(); err != nil {
+		return err
+	}
+	if !p.HasLeaf {
+		return nil
+	}
+	for _, s := range p.Steps {
+		if bitOf(p.LeafID, int(s.Bit)) != bitOf(id, int(s.Bit)) {
+			return fmt.Errorf("%w: terminal leaf is not on the lookup path of %s", ErrBadProof, id)
+		}
+	}
+	return nil
+}
+
+// fold hashes steps[from:to] onto h bottom-up, choosing directions from
+// id's bits — the binding that makes the path id's lookup path.
+func (p *Proof) fold(h [HashSize]byte, from, to int, id uuid.UUID) [HashSize]byte {
+	for i := to - 1; i >= from; i-- {
+		s := p.Steps[i]
+		if bitOf(id, int(s.Bit)) == 0 {
+			h = innerHash(int(s.Bit), h, s.Sibling)
+		} else {
+			h = innerHash(int(s.Bit), s.Sibling, h)
+		}
+	}
+	return h
+}
+
+// Verify checks the proof against root for the lookup key id. On
+// success it returns (version, true) when id is in the tree, or
+// (0, false) when the proof establishes absence. Any inconsistency —
+// wrong root, malformed geometry, a path that is not id's — returns
+// ErrBadProof (or ErrMalformed for shape violations).
+func (p *Proof) Verify(root [HashSize]byte, id uuid.UUID) (version uint64, present bool, err error) {
+	if err := p.validateFor(id); err != nil {
+		return 0, false, err
+	}
+	if !p.HasLeaf {
+		if root != EmptyRoot() {
+			return 0, false, fmt.Errorf("%w: empty-tree proof against a non-empty root", ErrBadProof)
+		}
+		return 0, false, nil
+	}
+	got := p.fold(leafHash(p.LeafID, p.LeafVersion), 0, len(p.Steps), id)
+	if got != root {
+		return 0, false, fmt.Errorf("%w: recomputed root mismatch for %s", ErrBadProof, id)
+	}
+	if p.LeafID == id {
+		return p.LeafVersion, true, nil
+	}
+	return 0, false, nil
+}
+
+// NewRoot verifies the proof against oldRoot and returns the root the
+// tree has after applying {id → version} (version 0 deletes). This is
+// how the enclave advances its O(1) root commitment without ever
+// holding the tree: each batched update's proof, verified against the
+// previous root, determines the next one.
+func (p *Proof) NewRoot(oldRoot [HashSize]byte, id uuid.UUID, version uint64) ([HashSize]byte, error) {
+	var zero [HashSize]byte
+	_, present, err := p.Verify(oldRoot, id)
+	if err != nil {
+		return zero, err
+	}
+	switch {
+	case version == 0 && !present:
+		// Deleting an absent key: nothing changes.
+		return oldRoot, nil
+	case version == 0:
+		// Delete: the leaf's parent collapses onto its sibling.
+		if len(p.Steps) == 0 {
+			return EmptyRoot(), nil
+		}
+		return p.fold(p.Steps[len(p.Steps)-1].Sibling, 0, len(p.Steps)-1, id), nil
+	case present:
+		// Update in place.
+		return p.fold(leafHash(id, version), 0, len(p.Steps), id), nil
+	case !p.HasLeaf:
+		// First leaf of an empty tree.
+		return leafHash(id, version), nil
+	default:
+		// Insert: pair the new leaf with the displaced subtree — the
+		// witness leaf plus every step below the diverging bit — under
+		// a fresh inner node at that bit.
+		crit := critBit(p.LeafID, id)
+		idx := len(p.Steps)
+		for idx > 0 && int(p.Steps[idx-1].Bit) > crit {
+			idx--
+		}
+		displaced := p.fold(leafHash(p.LeafID, p.LeafVersion), idx, len(p.Steps), id)
+		var h [HashSize]byte
+		if bitOf(id, crit) == 0 {
+			h = innerHash(crit, leafHash(id, version), displaced)
+		} else {
+			h = innerHash(crit, displaced, leafHash(id, version))
+		}
+		return p.fold(h, 0, idx, id), nil
+	}
+}

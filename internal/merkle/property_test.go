@@ -1,0 +1,118 @@
+package merkle
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"nexus/internal/uuid"
+)
+
+// merkleSeed returns the property-test seed, overridable with
+// NEXUS_MERKLE_SEED for exact replay of a failure.
+func merkleSeed(t *testing.T) int64 {
+	t.Helper()
+	env := os.Getenv("NEXUS_MERKLE_SEED")
+	if env == "" {
+		return 1
+	}
+	seed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("NEXUS_MERKLE_SEED=%q: %v", env, err)
+	}
+	return seed
+}
+
+// TestPropertyTreeVsMapOracle drives the tree and a plain map through
+// the same seeded op stream (insert/update/delete/load), checking after
+// every step that lookups, proofs, Len, and the folded root all agree
+// with the oracle. Re-run a failing seed with NEXUS_MERKLE_SEED=<seed>.
+func TestPropertyTreeVsMapOracle(t *testing.T) {
+	seed := merkleSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	tr := New()
+	oracle := make(map[uuid.UUID]uint64)
+	var keys []uuid.UUID // known keys, present or not, for realistic hits
+
+	const ops = 4000
+	for op := 0; op < ops; op++ {
+		var id uuid.UUID
+		if len(keys) > 0 && rng.Intn(100) < 70 {
+			id = keys[rng.Intn(len(keys))]
+		} else {
+			id = testUUID(rng)
+			keys = append(keys, id)
+		}
+		switch rng.Intn(4) {
+		case 0, 1: // insert/update
+			version := uint64(rng.Int63n(1<<30)) + 1
+			proof := tr.Prove(id)
+			oldRoot := tr.Root()
+			tr.Set(id, version)
+			oracle[id] = version
+			folded, err := proof.NewRoot(oldRoot, id, version)
+			if err != nil {
+				t.Fatalf("seed %d op %d: NewRoot(set): %v", seed, op, err)
+			}
+			if folded != tr.Root() {
+				t.Fatalf("seed %d op %d: folded root diverged after set", seed, op)
+			}
+		case 2: // delete
+			proof := tr.Prove(id)
+			oldRoot := tr.Root()
+			tr.Set(id, 0)
+			delete(oracle, id)
+			folded, err := proof.NewRoot(oldRoot, id, 0)
+			if err != nil {
+				t.Fatalf("seed %d op %d: NewRoot(delete): %v", seed, op, err)
+			}
+			if folded != tr.Root() {
+				t.Fatalf("seed %d op %d: folded root diverged after delete", seed, op)
+			}
+		case 3: // load: proof verdict must match the oracle
+			proof := tr.Prove(id)
+			v, present, err := proof.Verify(tr.Root(), id)
+			if err != nil {
+				t.Fatalf("seed %d op %d: Verify: %v", seed, op, err)
+			}
+			want, ok := oracle[id]
+			if present != ok || v != want {
+				t.Fatalf("seed %d op %d: proof says (%d,%v), oracle says (%d,%v)",
+					seed, op, v, present, want, ok)
+			}
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("seed %d op %d: Len=%d oracle=%d", seed, op, tr.Len(), len(oracle))
+		}
+	}
+
+	// Final sweep: every oracle entry must look up and prove; a batch of
+	// fresh keys must prove absent; the encode/decode round trip must
+	// land on the same root.
+	root := tr.Root()
+	for id, want := range oracle {
+		if v, ok := tr.Lookup(id); !ok || v != want {
+			t.Fatalf("seed %d: Lookup(%s)=(%d,%v), want (%d,true)", seed, id, v, ok, want)
+		}
+		if v, present, err := tr.Prove(id).Verify(root, id); err != nil || !present || v != want {
+			t.Fatalf("seed %d: final proof for %s: v=%d present=%v err=%v", seed, id, v, present, err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		id := testUUID(rng)
+		if _, ok := oracle[id]; ok {
+			continue
+		}
+		if _, present, err := tr.Prove(id).Verify(root, id); err != nil || present {
+			t.Fatalf("seed %d: absence proof for %s: present=%v err=%v", seed, id, present, err)
+		}
+	}
+	decoded, err := DecodeTree(tr.Encode())
+	if err != nil {
+		t.Fatalf("seed %d: DecodeTree: %v", seed, err)
+	}
+	if decoded.Root() != root || decoded.Len() != tr.Len() {
+		t.Fatalf("seed %d: decode round trip diverged", seed)
+	}
+}

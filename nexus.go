@@ -206,6 +206,13 @@ type ClientConfig struct {
 	// authenticated table updated on every write. Stronger freshness at
 	// the cost of one extra object read/write per operation.
 	FreshnessTree bool
+	// FreshnessMerkle enables the Merkle-authenticated namespace
+	// (DESIGN.md §15): the same whole-volume rollback protection with
+	// O(1) enclave-resident state and O(log n) proofs per metadata
+	// load. The client wraps the store in vfs.NewFreshnessStore
+	// automatically when it does not already serve proofs. Mutually
+	// exclusive with FreshnessTree.
+	FreshnessMerkle bool
 	// WritebackMode selects the metadata flush policy: "on" (and the
 	// default, "") batches metadata flushes in an in-enclave dirty set
 	// drained at barriers — File.Sync/Close, FS.Sync, FS.WriteFile,
@@ -284,15 +291,22 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nexus: loading enclave: %w", err)
 	}
+	store := cfg.Store
+	if cfg.FreshnessMerkle {
+		if _, ok := store.(enclave.FreshnessProofStore); !ok {
+			store = vfs.NewFreshnessStore(store)
+		}
+	}
 	encl, err := enclave.New(enclave.Config{
 		SGX:                  container,
-		Store:                cfg.Store,
+		Store:                store,
 		IAS:                  cfg.IAS,
 		BucketSize:           cfg.BucketSize,
 		ChunkSize:            cfg.ChunkSize,
 		CryptoWorkers:        cfg.CryptoWorkers,
 		DisableMetadataCache: cfg.DisableMetadataCache,
 		FreshnessTree:        cfg.FreshnessTree,
+		FreshnessMerkle:      cfg.FreshnessMerkle,
 		Writeback:            writeback,
 		WritebackMaxOps:      cfg.WritebackMaxOps,
 		WritebackMaxBytes:    cfg.WritebackMaxBytes,
