@@ -11,6 +11,11 @@
 // is memory-backed. With -metrics-addr, an HTTP endpoint serves
 // Prometheus text metrics at /metrics, expvar JSON at /debug/vars, and
 // the standard pprof profiles under /debug/pprof/.
+//
+// Clients mount volumes with Merkle-authenticated freshness by default
+// (DESIGN.md §15); the server needs no cooperation for it — rollback
+// proofs are ordinary objects — and legacy flat-table mounts
+// (`nexus -freshness-flat`) keep working against the same server.
 package main
 
 import (

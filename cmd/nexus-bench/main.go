@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|freshness]
+//	nexus-bench [-exp all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|freshness|dedup]
 //	            [-scale N] [-runs N] [-rtt duration] [-bw MBps]
 //	            [-entries N] [-transition duration] [-no-cache]
 //	            [-workers N] [-json] [-out FILE] [-crypto-workers LIST]
@@ -48,7 +48,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|freshness|ablation")
+	exp := flag.String("exp", "all", "experiment: all|fileio|dirops|gitclone|db|apps|revoke|revoke-sweep|sharing|crypto|metadata|freshness|dedup|ablation")
 	scale := flag.Int64("scale", 64, "divide workload file sizes by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "repetitions averaged per measurement")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated network round-trip time")
@@ -208,6 +208,16 @@ func run() error {
 		bench.PrintFreshness(os.Stdout, rows)
 		if report != nil {
 			report.Experiments["freshness_scale"] = bench.FreshnessMetrics(rows)
+		}
+	}
+	if want("dedup") {
+		rows, err := bench.Dedup(cfg)
+		if err != nil {
+			return fmt.Errorf("dedup: %w", err)
+		}
+		bench.PrintDedup(os.Stdout, rows)
+		if report != nil {
+			report.Experiments["dedup"] = bench.DedupMetrics(rows)
 		}
 	}
 	if want("sharing") {

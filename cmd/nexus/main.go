@@ -12,7 +12,13 @@
 //
 // Usage:
 //
-//	nexus [-home dir] [-store dir | -afs host:port] <command> [args]
+//	nexus [-home dir] [-store dir | -afs host:port]
+//	      [-freshness-flat] [-content-defined] <command> [args]
+//
+// Rollback protection defaults to the Merkle-authenticated namespace
+// (DESIGN.md §15); -freshness-flat opts a mount back into the legacy
+// flat freshness table. -content-defined stores file contents as
+// deduplicated content-defined chunks (DESIGN.md §16).
 //
 // Commands:
 //
@@ -69,12 +75,19 @@ type cli struct {
 	// obs is shared by the AFS client and the enclave so trace mode
 	// stitches afs.* RPC spans under the vfs/sgx spans.
 	obs *nexus.Obs
+	// freshnessFlat opts out of the default Merkle freshness namespace.
+	freshnessFlat bool
+	// contentDefined enables the deduplicated content-defined chunk
+	// store for file contents.
+	contentDefined bool
 }
 
 func run() error {
 	home := flag.String("home", ".nexus-home", "client state directory")
 	storeDir := flag.String("store", "", "local object store directory (default <home>/store)")
 	afsAddr := flag.String("afs", "", "AFS server address (overrides -store)")
+	freshnessFlat := flag.Bool("freshness-flat", false, "use the legacy flat freshness table instead of the default Merkle namespace")
+	contentDefined := flag.Bool("content-defined", false, "store file contents as deduplicated content-defined chunks")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -85,7 +98,7 @@ func run() error {
 	if err := os.MkdirAll(*home, 0o700); err != nil {
 		return err
 	}
-	c := &cli{home: *home, obs: nexus.NewObs()}
+	c := &cli{home: *home, obs: nexus.NewObs(), freshnessFlat: *freshnessFlat, contentDefined: *contentDefined}
 
 	switch {
 	case *afsAddr != "":
@@ -335,9 +348,11 @@ func (c *cli) newClient() (*nexus.Client, error) {
 		return nil, fmt.Errorf("corrupt machine seed")
 	}
 	return nexus.NewClient(nexus.ClientConfig{
-		Store:        c.store,
-		PlatformSeed: seed,
-		Obs:          c.obs,
+		Store:          c.store,
+		PlatformSeed:   seed,
+		Obs:            c.obs,
+		FreshnessFlat:  c.freshnessFlat,
+		ContentDefined: c.contentDefined,
 		// One command per process: batching buys nothing and deferred
 		// metadata would be lost at exit, so flush eagerly.
 		WritebackMode: "off",

@@ -37,7 +37,10 @@ func Ablation(base Config, files int) ([]AblationRow, error) {
 		{"metadata cache off", func(c *Config) { c.DisableMetadataCache = true }},
 		{"transition cost 0", func(c *Config) { c.TransitionCost = -1 }},
 		{"transition cost 50µs", func(c *Config) { c.TransitionCost = 50 * time.Microsecond }},
-		{"freshness tree on", func(c *Config) { c.FreshnessTree = true }},
+		// The base stack runs the default Merkle freshness namespace;
+		// this arm swaps in the legacy flat table (the differential
+		// oracle) to expose the O(n)-table-vs-O(log n)-proof tradeoff.
+		{"freshness flat table", func(c *Config) { c.FreshnessFlat = true }},
 	}
 
 	rows := make([]AblationRow, 0, len(variants))

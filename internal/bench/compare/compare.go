@@ -114,6 +114,32 @@ type Delta struct {
 	// figure; zero otherwise. Informational only, like WrapRatio: proof
 	// sizes move by design when the namespace tree's geometry changes.
 	ProofBytesRatio float64
+	// DedupRatioCur and UploadedBytesRatio surface the dedup
+	// experiment's figures: the current run's dedup ratio, and
+	// cur/base uploaded bytes per op when both reports carry it.
+	// Informational, like the tails.
+	DedupRatioCur      float64
+	UploadedBytesRatio float64
+	// Informational marks a metric that never gates: its row is shown
+	// for visibility but no flag on it sets Regressed, and it needs no
+	// baseline entry.
+	Informational bool
+}
+
+// MissingBaselineError reports a gated metric the current run carries
+// that the baseline report lacks entirely. Diffing such a pair used to
+// pass silently — the metric produced no delta row and a zero ratio —
+// which un-gated it exactly when the gate was supposed to start
+// applying. Informational metrics (Metric.Informational) are exempt:
+// they never gate, so they may appear without a baseline entry.
+type MissingBaselineError struct {
+	Experiment string
+	Metric     string
+}
+
+func (e *MissingBaselineError) Error() string {
+	return fmt.Sprintf("compare: baseline has no entry for gated metric %s/%s reported by the current run — refusing to pass it ungated; regenerate the baseline (make bench-baseline) or mark the metric informational",
+		e.Experiment, e.Metric)
 }
 
 // CheckEnv reports whether two reports were produced on comparable
@@ -167,6 +193,7 @@ func DiffOpts(baseline, current *bench.Report, opts Options) ([]Delta, bool, err
 		for name, base := range baseExp {
 			d := Delta{Experiment: expName, Metric: name, BaseNs: base.NsPerOp}
 			cur, ok := curExp[name]
+			d.Informational = base.Informational || (ok && cur.Informational)
 			if !ok {
 				d.Missing = true
 			} else {
@@ -202,13 +229,50 @@ func DiffOpts(baseline, current *bench.Report, opts Options) ([]Delta, bool, err
 				if base.ProofBytesPerOp > 0 && cur.ProofBytesPerOp > 0 {
 					d.ProofBytesRatio = cur.ProofBytesPerOp / base.ProofBytesPerOp
 				}
+				d.DedupRatioCur = cur.DedupRatio
+				if base.UploadedBytesPerOp > 0 && cur.UploadedBytesPerOp > 0 {
+					d.UploadedBytesRatio = cur.UploadedBytesPerOp / base.UploadedBytesPerOp
+				}
 			}
-			d.Regressed = d.Missing || d.NsRegressed || d.AllocsRegressed || d.MBsRegressed
+			d.Regressed = !d.Informational &&
+				(d.Missing || d.NsRegressed || d.AllocsRegressed || d.MBsRegressed)
 			if d.Regressed {
 				regressed = true
 			}
 			deltas = append(deltas, d)
 		}
+	}
+	// The reverse direction: a gated metric the current run reports
+	// with no baseline entry at all. Producing no row (and a zero
+	// ratio) here would pass the run while leaving the new metric
+	// un-gated — fail loudly instead. Informational metrics are new
+	// coverage: they ride along without a baseline, but still get a
+	// row so their figures (dedup ratio, upload cost) are visible in
+	// the diff output.
+	var missingBase *MissingBaselineError
+	for expName, curExp := range current.Experiments {
+		baseExp := baseline.Experiments[expName]
+		for name, cur := range curExp {
+			if _, ok := baseExp[name]; ok {
+				continue
+			}
+			if cur.Informational {
+				deltas = append(deltas, Delta{
+					Experiment: expName, Metric: name, CurNs: cur.NsPerOp,
+					Informational: true, DedupRatioCur: cur.DedupRatio,
+				})
+				continue
+			}
+			// Deterministic choice when several are missing: report the
+			// lexicographically first.
+			if missingBase == nil || expName < missingBase.Experiment ||
+				(expName == missingBase.Experiment && name < missingBase.Metric) {
+				missingBase = &MissingBaselineError{Experiment: expName, Metric: name}
+			}
+		}
+	}
+	if missingBase != nil {
+		return nil, false, missingBase
 	}
 	sort.Slice(deltas, func(i, j int) bool {
 		if deltas[i].Experiment != deltas[j].Experiment {
@@ -272,7 +336,11 @@ func Format(w io.Writer, deltas []Delta, opts Options) {
 	for _, d := range deltas {
 		name := d.Experiment + "/" + d.Metric
 		if d.Missing {
-			fmt.Fprintf(w, "%-42s %14.0f %14s %8s %8s %8s  REGRESSED (missing)\n", name, d.BaseNs, "-", "-", "-", "-")
+			flag := "  REGRESSED (missing)"
+			if d.Informational {
+				flag = "  (informational, absent from current)"
+			}
+			fmt.Fprintf(w, "%-42s %14.0f %14s %8s %8s %8s%s\n", name, d.BaseNs, "-", "-", "-", "-", flag)
 			continue
 		}
 		var why []string
@@ -286,7 +354,9 @@ func Format(w io.Writer, deltas []Delta, opts Options) {
 			why = append(why, fmt.Sprintf("MB/s < -%.0f%%", opts.MBsTolerance*100))
 		}
 		flag := ""
-		if len(why) > 0 {
+		if d.Informational {
+			flag = "  (informational)"
+		} else if len(why) > 0 {
 			flag = "  REGRESSED (" + strings.Join(why, ", ") + ")"
 		}
 		allocs, mbs := "-", "-"
@@ -312,6 +382,19 @@ func Format(w io.Writer, deltas []Delta, opts Options) {
 		if d.ProofBytesRatio > 0 {
 			tails += fmt.Sprintf("  proof B/op %.2fx", d.ProofBytesRatio)
 		}
-		fmt.Fprintf(w, "%-42s %14.0f %14.0f %7.2fx %8s %8s%s%s\n", name, d.BaseNs, d.CurNs, d.Ratio, allocs, mbs, tails, flag)
+		if d.DedupRatioCur > 0 {
+			tails += fmt.Sprintf("  dedup %.2fx", d.DedupRatioCur)
+		}
+		if d.UploadedBytesRatio > 0 {
+			tails += fmt.Sprintf("  upload B/op %.2fx", d.UploadedBytesRatio)
+		}
+		baseCol := fmt.Sprintf("%14.0f", d.BaseNs)
+		ratioCol := fmt.Sprintf("%7.2fx", d.Ratio)
+		if d.Informational && d.BaseNs == 0 {
+			// New informational coverage with no baseline entry.
+			baseCol, ratioCol = fmt.Sprintf("%14s", "-"), fmt.Sprintf("%8s", "-")
+			flag = "  (informational, new)"
+		}
+		fmt.Fprintf(w, "%-42s %s %14.0f %s %8s %8s%s%s\n", name, baseCol, d.CurNs, ratioCol, allocs, mbs, tails, flag)
 	}
 }

@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -81,18 +82,102 @@ func TestDiffMissingMetricRegresses(t *testing.T) {
 	}
 }
 
-func TestDiffNewMetricIsNotRegression(t *testing.T) {
+// TestDiffGatedMetricWithoutBaselineIsTypedError is the regression
+// test for the silent zero-ratio pass: a gated metric only the current
+// report carries used to produce no delta row and a clean exit,
+// leaving the new metric un-gated. It must now fail with
+// *MissingBaselineError naming the metric.
+func TestDiffGatedMetricWithoutBaselineIsTypedError(t *testing.T) {
 	base := report(map[string]float64{"a": 100})
 	cur := report(map[string]float64{"a": 100, "b": 999999})
+	_, _, err := Diff(base, cur, 0.2)
+	var missing *MissingBaselineError
+	if !errors.As(err, &missing) {
+		t.Fatalf("Diff error = %v, want *MissingBaselineError", err)
+	}
+	if missing.Experiment != "fileio" || missing.Metric != "b" {
+		t.Fatalf("error names %s/%s, want fileio/b", missing.Experiment, missing.Metric)
+	}
+	if !strings.Contains(missing.Error(), "fileio/b") {
+		t.Fatalf("error text does not name the metric: %v", missing)
+	}
+}
+
+// TestDiffSeveralMissingBaselinesDeterministic pins which metric the
+// typed error names when several are missing: the lexicographically
+// first, so CI failures are stable across runs (map iteration order
+// must not leak through).
+func TestDiffSeveralMissingBaselinesDeterministic(t *testing.T) {
+	base := report(map[string]float64{"a": 100})
+	cur := report(map[string]float64{"a": 100, "z": 1, "b": 1, "m": 1})
+	for i := 0; i < 10; i++ {
+		_, _, err := Diff(base, cur, 0.2)
+		var missing *MissingBaselineError
+		if !errors.As(err, &missing) {
+			t.Fatalf("Diff error = %v, want *MissingBaselineError", err)
+		}
+		if missing.Metric != "b" {
+			t.Fatalf("run %d named %s, want the lexicographically first (b)", i, missing.Metric)
+		}
+	}
+}
+
+// TestDiffInformationalMetricNeedsNoBaseline: informational metrics
+// (dedup ratios, upload costs) never gate, so they may appear without
+// a baseline entry and may regress arbitrarily without failing.
+func TestDiffInformationalMetricNeedsNoBaseline(t *testing.T) {
+	base := bench.NewReport("base", 1)
+	base.Add("fileio", "a", bench.Metric{NsPerOp: 100})
+	cur := bench.NewReport("cur", 1)
+	cur.Add("fileio", "a", bench.Metric{NsPerOp: 100})
+	cur.Add("dedup", "repeated_edit_cdc", bench.Metric{
+		NsPerOp: 5000, DedupRatio: 9.5, UploadedBytesPerOp: 6000, Informational: true,
+	})
 	deltas, regressed, err := Diff(base, cur, 0.2)
+	if err != nil {
+		t.Fatalf("informational metric without baseline: %v", err)
+	}
+	if regressed {
+		t.Fatal("informational-only addition flagged as regression")
+	}
+	// The new coverage still gets a (non-gating) row so its dedup
+	// figures show up in the diff output.
+	if len(deltas) != 2 {
+		t.Fatalf("want gated row + informational new-coverage row, got %d deltas", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Experiment != "dedup" {
+			continue
+		}
+		if !d.Informational || d.Regressed || d.Missing {
+			t.Fatalf("informational new-coverage row wrong: %+v", d)
+		}
+		if d.DedupRatioCur != 9.5 {
+			t.Fatalf("dedup ratio not surfaced on new-coverage row: %+v", d)
+		}
+	}
+
+	// Present in both but slower and marked informational: shown, not
+	// gated.
+	base.Add("dedup", "repeated_edit_cdc", bench.Metric{NsPerOp: 10, Informational: true})
+	deltas, regressed, err = Diff(base, cur, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if regressed {
-		t.Fatal("metric present only in current flagged as regression")
+		t.Fatal("informational slowdown gated")
 	}
-	if len(deltas) != 1 {
-		t.Fatalf("new metrics should not produce deltas, got %d", len(deltas))
+	var dd *Delta
+	for i := range deltas {
+		if deltas[i].Experiment == "dedup" {
+			dd = &deltas[i]
+		}
+	}
+	if dd == nil || !dd.Informational || dd.Regressed {
+		t.Fatalf("dedup delta wrong: %+v", dd)
+	}
+	if dd.DedupRatioCur != 9.5 {
+		t.Fatalf("dedup ratio not surfaced: %+v", dd)
 	}
 }
 

@@ -42,12 +42,20 @@ type Config struct {
 	CryptoWorkers int
 	// DisableMetadataCache ablates the in-enclave metadata cache.
 	DisableMetadataCache bool
-	// FreshnessTree enables the volume-wide version table (§VI-C).
+	// FreshnessFlat opts the stack out of the default Merkle freshness
+	// namespace into the legacy flat version table (§VI-C), the
+	// `-exp freshness` baseline. FreshnessTree is its pre-rename
+	// spelling, kept so existing sweep configs still parse.
+	FreshnessFlat bool
 	FreshnessTree bool
-	// FreshnessMerkle enables the Merkle-authenticated namespace
-	// instead of the flat table (DESIGN.md §15). Mutually exclusive
-	// with FreshnessTree.
+	// FreshnessMerkle names the default Merkle-authenticated namespace
+	// explicitly (DESIGN.md §15). Mutually exclusive with
+	// FreshnessFlat.
 	FreshnessMerkle bool
+	// ContentDefined stores file contents as deduplicated
+	// content-defined chunks (DESIGN.md §16) — the `dedup` experiment's
+	// CDC arm.
+	ContentDefined bool
 	// Writeback selects the enclave's metadata flushing mode: "" or
 	// "on" batches dirty metadata at barriers (the client default);
 	// "off" flushes eagerly after every operation.
@@ -140,8 +148,10 @@ func NewEnv(cfg Config) (*Env, error) {
 		CryptoWorkers:        cfg.CryptoWorkers,
 		TransitionCost:       cfg.TransitionCost,
 		DisableMetadataCache: cfg.DisableMetadataCache,
+		FreshnessFlat:        cfg.FreshnessFlat,
 		FreshnessTree:        cfg.FreshnessTree,
 		FreshnessMerkle:      cfg.FreshnessMerkle,
+		ContentDefined:       cfg.ContentDefined,
 		WritebackMode:        cfg.Writeback,
 		Obs:                  env.Obs,
 	})

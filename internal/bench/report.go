@@ -42,6 +42,16 @@ type Metric struct {
 	// proof, or the whole flat table. Informational in the compare gate —
 	// proof size moves by design when tree geometry changes.
 	ProofBytesPerOp float64 `json:"proof_bytes_per_op,omitempty"`
+	// DedupRatio is logical bytes written over bytes actually uploaded
+	// and UploadedBytesPerOp the post-dedup upload cost per operation,
+	// from the dedup experiment. Both ride on informational metrics.
+	DedupRatio         float64 `json:"dedup_ratio,omitempty"`
+	UploadedBytesPerOp float64 `json:"uploaded_bytes_per_op,omitempty"`
+	// Informational marks a metric the compare gate must never fail on
+	// — and, unlike gated metrics, never demand a baseline entry for:
+	// dedup ratios and upload-cost figures move by design with workload
+	// content, so they ride along for visibility only.
+	Informational bool `json:"informational,omitempty"`
 }
 
 // LatencyMetric converts a histogram snapshot into a Metric: the mean

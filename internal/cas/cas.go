@@ -1,0 +1,191 @@
+// Package cas implements the content-addressed chunk store beneath the
+// filenode (DESIGN.md §16): convergent encryption scoped to one volume,
+// extent wire encoding, and the persistent reference-count table that
+// drives garbage collection.
+//
+// # Key derivation
+//
+// Every chunk is named and keyed by its plaintext, under a volume
+// dedup secret the enclave derives from the rootkey:
+//
+//	secret = HMAC-SHA256(rootkey, "nexus-dedup-secret-v1")
+//	handle = HMAC-SHA256(secret, "id"  ‖ SHA-256(plaintext))
+//	key    = HMAC-SHA256(secret, "key" ‖ handle)[:16]
+//	iv     = HMAC-SHA256(secret, "iv"  ‖ handle)[:12]
+//
+// Identical plaintext therefore derives the identical handle, key, IV,
+// and (AES-GCM being deterministic given all three) the identical
+// sealed object — a re-upload is a byte-identical PUT, so dedup needs
+// no plaintext round trip and chunk writes are idempotent. The
+// deterministic IV is safe because the key is unique per distinct
+// plaintext: the (key, IV) pair never seals two different messages.
+// Because the derivation runs under a sealed per-volume secret, the
+// scheme is convergent only *within* a volume: an attacker who stores
+// a guessed plaintext in their own volume learns nothing about
+// handles in this one (no cross-volume confirmation-of-file attacks).
+// What the storage service does learn is the equality pattern of
+// chunks inside the volume — the classic convergent-encryption
+// leakage, accepted here in exchange for dedup; see DESIGN.md §16.
+//
+// Reads need only the extent list: key and IV re-derive from the
+// handle alone. The plaintext hash never leaves the enclave.
+package cas
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+const (
+	// HandleSize is the width of a chunk handle (HMAC-SHA256 output).
+	HandleSize = 32
+	// KeySize is the AES-128 chunk key width.
+	KeySize = 16
+	// IVSize is the GCM nonce width.
+	IVSize = 12
+	// TagSize is the GCM authentication tag width.
+	TagSize = 16
+	// SecretSize is the volume dedup secret width.
+	SecretSize = 32
+)
+
+// handlePrefix prefixes chunk object names on the store, keeping them
+// visually distinct from the UUID-named metadata and legacy data
+// objects.
+const handlePrefix = "cas-"
+
+// Errors returned by the sealing and wire layers.
+var (
+	// ErrTampered reports a chunk whose ciphertext failed
+	// authentication against its handle-derived key.
+	ErrTampered = errors.New("cas: chunk failed authentication")
+	// ErrMalformed reports structurally invalid wire bytes (extent
+	// lists, ref tables) beyond what serial reports itself.
+	ErrMalformed = errors.New("cas: malformed encoding")
+)
+
+// Handle is the content-derived name of one sealed chunk.
+type Handle [HandleSize]byte
+
+// ObjectName returns the untrusted store's object name for the chunk.
+func (h Handle) ObjectName() string { return handlePrefix + hex.EncodeToString(h[:]) }
+
+// String abbreviates the handle for logs and errors.
+func (h Handle) String() string { return handlePrefix + hex.EncodeToString(h[:6]) + "…" }
+
+// Secret is the sealed per-volume dedup secret all derivations hang
+// off. It lives only inside the enclave.
+type Secret struct {
+	key [SecretSize]byte
+}
+
+// DeriveSecret derives the volume dedup secret from the volume
+// rootkey. The derivation is deterministic so every enclave that
+// mounts the volume — and every remount — agrees on chunk handles.
+func DeriveSecret(rootKey []byte) *Secret {
+	mac := hmac.New(sha256.New, rootKey)
+	mac.Write([]byte("nexus-dedup-secret-v1"))
+	s := &Secret{}
+	copy(s.key[:], mac.Sum(nil))
+	return s
+}
+
+// Zero wipes the secret (volume unmount / enclave reset).
+func (s *Secret) Zero() {
+	for i := range s.key {
+		s.key[i] = 0
+	}
+}
+
+func (s *Secret) derive(label string, payload []byte) [32]byte {
+	mac := hmac.New(sha256.New, s.key[:])
+	mac.Write([]byte(label))
+	mac.Write(payload)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// HandleFor derives the chunk handle for plain.
+func (s *Secret) HandleFor(plain []byte) Handle {
+	sum := sha256.Sum256(plain)
+	return Handle(s.derive("id", sum[:]))
+}
+
+// keyFor derives the chunk's AES-128 key from its handle.
+func (s *Secret) keyFor(h Handle) [KeySize]byte {
+	d := s.derive("key", h[:])
+	var k [KeySize]byte
+	copy(k[:], d[:KeySize])
+	return k
+}
+
+// ivFor derives the chunk's GCM nonce from its handle.
+func (s *Secret) ivFor(h Handle) [IVSize]byte {
+	d := s.derive("iv", h[:])
+	var iv [IVSize]byte
+	copy(iv[:], d[:IVSize])
+	return iv
+}
+
+// SealedLen returns the sealed size of an n-byte chunk.
+func SealedLen(n int) int { return n + TagSize }
+
+func (s *Secret) aead(h Handle) (cipher.AEAD, error) {
+	key := s.keyFor(h)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cas: cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// Seal encrypts plain under its handle-derived key into dst, which
+// must have length SealedLen(len(plain)). The handle is the AAD, so a
+// sealed chunk authenticates its own name: the store cannot serve
+// chunk A's bytes under chunk B's handle. Sealing is deterministic —
+// equal plaintext yields equal output.
+func (s *Secret) Seal(h Handle, plain, dst []byte) error {
+	if len(dst) != SealedLen(len(plain)) {
+		return fmt.Errorf("cas: seal buffer %d bytes, need %d", len(dst), SealedLen(len(plain)))
+	}
+	gcm, err := s.aead(h)
+	if err != nil {
+		return err
+	}
+	iv := s.ivFor(h)
+	gcm.Seal(dst[:0], iv[:], plain, h[:])
+	return nil
+}
+
+// Open decrypts sealed (as produced by Seal under h) into dst, which
+// must have length len(sealed)-TagSize. It additionally verifies that
+// the plaintext re-derives h — a defense-in-depth check that the
+// volume secret in use matches the one that sealed the chunk.
+func (s *Secret) Open(h Handle, sealed, dst []byte) error {
+	if len(sealed) < TagSize {
+		return fmt.Errorf("%w: sealed chunk %d bytes, need >= %d", ErrTampered, len(sealed), TagSize)
+	}
+	if len(dst) != len(sealed)-TagSize {
+		return fmt.Errorf("cas: open buffer %d bytes, need %d", len(dst), len(sealed)-TagSize)
+	}
+	gcm, err := s.aead(h)
+	if err != nil {
+		return err
+	}
+	iv := s.ivFor(h)
+	if _, err := gcm.Open(dst[:0], iv[:], sealed, h[:]); err != nil {
+		return fmt.Errorf("%w: %s", ErrTampered, h)
+	}
+	want := s.HandleFor(dst)
+	if subtle.ConstantTimeCompare(want[:], h[:]) != 1 {
+		return fmt.Errorf("%w: %s (handle mismatch)", ErrTampered, h)
+	}
+	return nil
+}

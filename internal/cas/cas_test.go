@@ -1,0 +1,305 @@
+package cas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testSecret(t *testing.T) *Secret {
+	t.Helper()
+	return DeriveSecret([]byte("test-root-key-32-bytes-aaaaaaaa!"))
+}
+
+func TestDeriveSecretDeterministic(t *testing.T) {
+	root := []byte("rootkey")
+	a, b := DeriveSecret(root), DeriveSecret(root)
+	if a.key != b.key {
+		t.Fatal("same rootkey derived different secrets")
+	}
+	c := DeriveSecret([]byte("other"))
+	if a.key == c.key {
+		t.Fatal("different rootkeys derived the same secret")
+	}
+}
+
+func TestHandleDerivation(t *testing.T) {
+	s := testSecret(t)
+	h1 := s.HandleFor([]byte("chunk one"))
+	h2 := s.HandleFor([]byte("chunk one"))
+	h3 := s.HandleFor([]byte("chunk two"))
+	if h1 != h2 {
+		t.Fatal("equal plaintext derived different handles")
+	}
+	if h1 == h3 {
+		t.Fatal("different plaintext derived the same handle")
+	}
+	// Volume scoping: another volume's secret sees different handles
+	// for the same plaintext.
+	other := DeriveSecret([]byte("another volume"))
+	if other.HandleFor([]byte("chunk one")) == h1 {
+		t.Fatal("handles are not volume-scoped")
+	}
+	if !strings.HasPrefix(h1.ObjectName(), "cas-") || len(h1.ObjectName()) != 4+2*HandleSize {
+		t.Fatalf("unexpected object name %q", h1.ObjectName())
+	}
+	if !strings.HasPrefix(h1.String(), "cas-") {
+		t.Fatalf("unexpected String %q", h1.String())
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	s := testSecret(t)
+	plain := []byte("the sealed chunk payload")
+	h := s.HandleFor(plain)
+	sealed := make([]byte, SealedLen(len(plain)))
+	if err := s.Seal(h, plain, sealed); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Determinism: sealing again is byte-identical (idempotent PUT).
+	sealed2 := make([]byte, SealedLen(len(plain)))
+	if err := s.Seal(h, plain, sealed2); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if !bytes.Equal(sealed, sealed2) {
+		t.Fatal("sealing is not deterministic")
+	}
+	out := make([]byte, len(plain))
+	if err := s.Open(h, sealed, out); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(out, plain) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	s := testSecret(t)
+	plain := []byte("authentic bytes")
+	h := s.HandleFor(plain)
+	sealed := make([]byte, SealedLen(len(plain)))
+	if err := s.Seal(h, plain, sealed); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	out := make([]byte, len(plain))
+
+	// Bit flip anywhere in the ciphertext or tag.
+	for _, i := range []int{0, len(plain) / 2, len(sealed) - 1} {
+		bad := bytes.Clone(sealed)
+		bad[i] ^= 1
+		if err := s.Open(h, bad, out); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+
+	// Substitution: chunk B's bytes served under chunk A's handle
+	// fails (the handle is the AAD).
+	other := []byte("different bytes")
+	h2 := s.HandleFor(other)
+	sealed2 := make([]byte, SealedLen(len(other)))
+	if err := s.Seal(h2, other, sealed2); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := s.Open(h, sealed2, out); err == nil {
+		t.Fatal("substituted chunk accepted")
+	}
+
+	// Truncated input.
+	if err := s.Open(h, sealed[:TagSize-1], out[:0]); err == nil {
+		t.Fatal("truncated sealed chunk accepted")
+	}
+}
+
+func TestSealOpenBufferSizes(t *testing.T) {
+	s := testSecret(t)
+	plain := []byte("x")
+	h := s.HandleFor(plain)
+	if err := s.Seal(h, plain, make([]byte, 3)); err == nil {
+		t.Fatal("Seal accepted short dst")
+	}
+	sealed := make([]byte, SealedLen(len(plain)))
+	if err := s.Seal(h, plain, sealed); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := s.Open(h, sealed, make([]byte, 5)); err == nil {
+		t.Fatal("Open accepted wrong-size dst")
+	}
+}
+
+func TestSecretZero(t *testing.T) {
+	s := testSecret(t)
+	s.Zero()
+	if s.key != [SecretSize]byte{} {
+		t.Fatal("Zero left key material")
+	}
+}
+
+func TestExtentsRoundTrip(t *testing.T) {
+	s := testSecret(t)
+	list := []Extent{
+		{Handle: s.HandleFor([]byte("a")), Len: 100},
+		{Handle: s.HandleFor([]byte("b")), Len: 1},
+		{Handle: s.HandleFor([]byte("a")), Len: 100}, // repeats are legal
+	}
+	enc := EncodeExtents(list)
+	got, err := DecodeExtents(enc)
+	if err != nil {
+		t.Fatalf("DecodeExtents: %v", err)
+	}
+	if len(got) != len(list) {
+		t.Fatalf("decoded %d extents, want %d", len(got), len(list))
+	}
+	for i := range list {
+		if got[i] != list[i] {
+			t.Fatalf("extent %d mismatch", i)
+		}
+	}
+	if TotalLen(got) != 201 {
+		t.Fatalf("TotalLen = %d, want 201", TotalLen(got))
+	}
+	// Canonical: re-encode reproduces the input.
+	if !bytes.Equal(EncodeExtents(got), enc) {
+		t.Fatal("re-encode differs")
+	}
+	// Empty list round trip.
+	empty, err := DecodeExtents(EncodeExtents(nil))
+	if err != nil || empty != nil {
+		t.Fatalf("empty list round trip: %v %v", empty, err)
+	}
+}
+
+func TestExtentsDecodeRejects(t *testing.T) {
+	s := testSecret(t)
+	valid := EncodeExtents([]Extent{{Handle: s.HandleFor([]byte("a")), Len: 7}})
+
+	cases := map[string][]byte{
+		"truncated":   valid[:len(valid)-2],
+		"trailing":    append(bytes.Clone(valid), 0xcc),
+		"empty input": {},
+	}
+	for name, b := range cases {
+		if _, err := DecodeExtents(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	// Zero-length extent.
+	zero := EncodeExtents([]Extent{{Handle: s.HandleFor([]byte("a")), Len: 0}})
+	if _, err := DecodeExtents(zero); err == nil {
+		t.Error("zero-length extent accepted")
+	}
+}
+
+func TestRefTableCounts(t *testing.T) {
+	s := testSecret(t)
+	a, b := s.HandleFor([]byte("a")), s.HandleFor([]byte("b"))
+	tab := NewRefTable()
+	tab.Inc(a, 2)
+	tab.Inc(b, 1)
+	tab.Inc(a, 0) // no-op
+	if tab.Get(a) != 2 || tab.Get(b) != 1 || tab.Len() != 2 {
+		t.Fatalf("counts: a=%d b=%d len=%d", tab.Get(a), tab.Get(b), tab.Len())
+	}
+	if rem, zeroed := tab.Dec(a, 1); rem != 1 || zeroed {
+		t.Fatalf("Dec(a,1) = %d,%v", rem, zeroed)
+	}
+	if rem, zeroed := tab.Dec(a, 5); rem != 0 || !zeroed {
+		t.Fatalf("saturating Dec(a,5) = %d,%v", rem, zeroed)
+	}
+	if tab.Get(a) != 0 || tab.Len() != 1 {
+		t.Fatal("zeroed handle not removed")
+	}
+	// Dec of an untracked handle is survivable drift, not a zeroing.
+	if rem, zeroed := tab.Dec(a, 1); rem != 0 || zeroed {
+		t.Fatalf("Dec(untracked) = %d,%v", rem, zeroed)
+	}
+}
+
+func TestRefTableEncodeRoundTrip(t *testing.T) {
+	s := testSecret(t)
+	tab := NewRefTable()
+	for i, n := range []uint32{3, 1, 7, 2} {
+		tab.Inc(s.HandleFor([]byte{byte(i)}), n)
+	}
+	enc := tab.Encode()
+	got, err := DecodeRefTable(enc)
+	if err != nil {
+		t.Fatalf("DecodeRefTable: %v", err)
+	}
+	if got.Len() != tab.Len() {
+		t.Fatalf("decoded %d entries, want %d", got.Len(), tab.Len())
+	}
+	for _, h := range tab.Handles() {
+		if got.Get(h) != tab.Get(h) {
+			t.Fatalf("count mismatch for %s", h)
+		}
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatal("re-encode differs")
+	}
+	clone := tab.Clone()
+	clone.Inc(s.HandleFor([]byte("new")), 1)
+	if clone.Len() == tab.Len() {
+		t.Fatal("Clone aliases the original")
+	}
+	// Empty table round trip.
+	empty, err := DecodeRefTable(NewRefTable().Encode())
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty table round trip: %v", err)
+	}
+}
+
+func TestRefTableDecodeRejects(t *testing.T) {
+	s := testSecret(t)
+	a := s.HandleFor([]byte("a"))
+	tab := NewRefTable()
+	tab.Inc(a, 1)
+	valid := tab.Encode()
+
+	bad := bytes.Clone(valid)
+	bad[0] = 9 // unknown format
+	if _, err := DecodeRefTable(bad); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := DecodeRefTable(valid[:len(valid)-1]); err == nil {
+		t.Error("truncated table accepted")
+	}
+	if _, err := DecodeRefTable(append(bytes.Clone(valid), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeRefTable(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+
+	// Zero refcount.
+	zero := bytes.Clone(valid)
+	// format(1) + count(4) + handle(32) + refcount(4): zero the count.
+	copy(zero[len(zero)-4:], []byte{0, 0, 0, 0})
+	if _, err := DecodeRefTable(zero); err == nil {
+		t.Error("zero refcount accepted")
+	}
+
+	// Unsorted / duplicate handles: build two-entry encodings by hand.
+	b := s.HandleFor([]byte("b"))
+	lo, hi := a, b
+	if bytes.Compare(lo[:], hi[:]) > 0 {
+		lo, hi = hi, lo
+	}
+	build := func(h1, h2 Handle) []byte {
+		out := []byte{refTableFormat, 2, 0, 0, 0}
+		out = append(out, h1[:]...)
+		out = append(out, 1, 0, 0, 0)
+		out = append(out, h2[:]...)
+		out = append(out, 1, 0, 0, 0)
+		return out
+	}
+	if _, err := DecodeRefTable(build(hi, lo)); err == nil {
+		t.Error("unsorted handles accepted")
+	}
+	if _, err := DecodeRefTable(build(lo, lo)); err == nil {
+		t.Error("duplicate handles accepted")
+	}
+	if _, err := DecodeRefTable(build(lo, hi)); err != nil {
+		t.Errorf("sorted two-entry table rejected: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package cas
+
+import (
+	"fmt"
+
+	"nexus/internal/serial"
+)
+
+// Extent is one chunk reference in a filenode's extent list: the
+// chunk's content handle and its plaintext length. Offsets are
+// implicit — extents tile the file in order — so the list is exactly
+// 36 bytes per chunk and a file's logical size is the sum of its
+// extent lengths (an invariant both encoder and decoder enforce).
+type Extent struct {
+	Handle Handle
+	Len    uint32
+}
+
+// extentWireSize is the encoded size of one extent.
+const extentWireSize = HandleSize + 4
+
+// MaxExtents caps an extent list: with the 64 MiB serial.MaxBytesLen
+// object ceiling and the chunker's 128-byte minimum chunk, no honest
+// list exceeds this.
+const MaxExtents = serial.MaxCount
+
+// WriteExtents appends the canonical encoding of list to w:
+// uint32 count ‖ (handle ‖ uint32 len)*.
+func WriteExtents(w *serial.Writer, list []Extent) {
+	w.WriteUint32(uint32(len(list)))
+	for i := range list {
+		w.WriteRaw(list[i].Handle[:])
+		w.WriteUint32(list[i].Len)
+	}
+}
+
+// ReadExtents consumes an extent list from r, enforcing the canonical
+// form: every extent non-empty. Structural errors surface through
+// r.Err as usual; semantic violations return ErrMalformed.
+func ReadExtents(r *serial.Reader) ([]Extent, error) {
+	n := r.ReadCount(MaxExtents, "extent count")
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	list := make([]Extent, n)
+	for i := range list {
+		r.ReadRawInto(list[i].Handle[:], "extent handle")
+		list[i].Len = r.ReadUint32("extent length")
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := range list {
+		if list[i].Len == 0 {
+			return nil, fmt.Errorf("%w: zero-length extent %d", ErrMalformed, i)
+		}
+	}
+	return list, nil
+}
+
+// EncodeExtents returns the canonical standalone encoding of list.
+func EncodeExtents(list []Extent) []byte {
+	w := serial.NewWriter(4 + len(list)*extentWireSize)
+	WriteExtents(w, list)
+	return w.Bytes()
+}
+
+// DecodeExtents decodes a standalone extent list strictly: the input
+// must be consumed exactly, and re-encoding the result must reproduce
+// the input byte for byte (there is exactly one valid encoding of any
+// list).
+func DecodeExtents(b []byte) ([]Extent, error) {
+	r := serial.NewReader(b)
+	list, err := ReadExtents(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// TotalLen sums the extent lengths — the logical file size the list
+// describes.
+func TotalLen(list []Extent) uint64 {
+	var total uint64
+	for i := range list {
+		total += uint64(list[i].Len)
+	}
+	return total
+}

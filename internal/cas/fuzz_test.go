@@ -1,0 +1,67 @@
+package cas
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCASDecode drives the two strict wire decoders (extent lists and
+// the ref table) with attacker-controlled bytes. Both must never
+// panic, and both must be strictly canonical: any input they accept
+// must re-encode to exactly the bytes that were decoded (no trailing
+// garbage, no alternate encodings of the same value). The first fuzz
+// byte routes between the two decoders so one corpus covers both.
+func FuzzCASDecode(f *testing.F) {
+	s := DeriveSecret([]byte("fuzz volume rootkey"))
+	ext := EncodeExtents([]Extent{
+		{Handle: s.HandleFor([]byte("a")), Len: 4096},
+		{Handle: s.HandleFor([]byte("b")), Len: 1},
+	})
+	tab := NewRefTable()
+	tab.Inc(s.HandleFor([]byte("a")), 2)
+	tab.Inc(s.HandleFor([]byte("b")), 1)
+
+	f.Add(append([]byte{0}, ext...))
+	f.Add(append([]byte{1}, tab.Encode()...))
+	f.Add(append([]byte{0}, EncodeExtents(nil)...))
+	f.Add(append([]byte{1}, NewRefTable().Encode()...))
+	f.Add([]byte{0})
+	f.Add([]byte{1, refTableFormat})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		payload := data[1:]
+		switch data[0] % 2 {
+		case 0:
+			list, err := DecodeExtents(payload)
+			if err != nil {
+				return
+			}
+			re := EncodeExtents(list)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("extents: accepted non-canonical encoding:\n in: %x\nout: %x", payload, re)
+			}
+			for i := range list {
+				if list[i].Len == 0 {
+					t.Fatalf("extents: accepted zero-length extent %d", i)
+				}
+			}
+		case 1:
+			tab, err := DecodeRefTable(payload)
+			if err != nil {
+				return
+			}
+			re := tab.Encode()
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("reftable: accepted non-canonical encoding:\n in: %x\nout: %x", payload, re)
+			}
+			for _, h := range tab.Handles() {
+				if tab.Get(h) == 0 {
+					t.Fatalf("reftable: accepted zero refcount for %s", h)
+				}
+			}
+		}
+	})
+}

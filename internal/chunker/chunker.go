@@ -1,0 +1,234 @@
+// Package chunker implements content-defined chunking with a buzhash
+// rolling hash (DESIGN.md §16). A chunker scans a byte stream and
+// emits chunk boundaries wherever the low bits of a 32-bit rolling
+// hash over the trailing 64-byte window match a mask derived from the
+// target average size. Because the hash depends only on the window
+// contents — and the window is reset at every cut — boundaries are a
+// pure function of the bytes since the previous cut: inserting or
+// deleting bytes re-chunks only the neighbourhood of the edit, and the
+// same content always produces the same chunks no matter how the
+// stream is split across Feed calls. That determinism is what makes
+// the content-addressed store (internal/cas) dedup: unchanged spans
+// re-derive the same handles.
+//
+// The rolling window is leased from an internal/parallel arena
+// (sensitive class: the window holds plaintext) so steady-state
+// chunking allocates nothing per file.
+package chunker
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nexus/internal/parallel"
+)
+
+// windowSize is the rolling-hash window in bytes. 64 is the standard
+// buzhash width: with a 32-bit hash the outgoing byte's contribution
+// has been rotated 64 ≡ 0 (mod 32) positions by the time it leaves, so
+// it cancels with a plain XOR and the roll is three XORs per byte.
+const windowSize = 64
+
+// MinChunkFloor is the smallest permitted minimum chunk size. Chunks
+// below this would drown the data path in per-chunk sealing overhead
+// (each chunk pays a 16-byte tag plus a 36-byte extent entry).
+const MinChunkFloor = 128
+
+// Config bounds the chunk size distribution.
+type Config struct {
+	// Min is the smallest chunk the chunker will emit (except for the
+	// final chunk of a stream, which may be shorter). The hash is not
+	// consulted until Min bytes have accumulated, which also skips the
+	// cut-point clustering small windows suffer. Default Avg/4.
+	Min int
+	// Avg is the target average chunk size. It is rounded up to a
+	// power of two to derive the boundary mask: each byte past Min cuts
+	// with probability 2^-ceil(log2(Avg)). Default 64 KiB.
+	Avg int
+	// Max forcibly cuts a chunk that reaches this size, bounding the
+	// damage of low-entropy runs that never match the mask. Default
+	// Avg*4.
+	Max int
+}
+
+// DefaultAvg is the default target average chunk size.
+const DefaultAvg = 64 << 10
+
+func (c Config) withDefaults() Config {
+	if c.Avg == 0 {
+		c.Avg = DefaultAvg
+	}
+	if c.Min == 0 {
+		c.Min = c.Avg / 4
+	}
+	if c.Min < MinChunkFloor {
+		c.Min = MinChunkFloor
+	}
+	if c.Max == 0 {
+		c.Max = c.Avg * 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Min < MinChunkFloor {
+		return fmt.Errorf("chunker: Min %d below floor %d", c.Min, MinChunkFloor)
+	}
+	if c.Avg < c.Min {
+		return fmt.Errorf("chunker: Avg %d below Min %d", c.Avg, c.Min)
+	}
+	if c.Max < c.Avg {
+		return fmt.Errorf("chunker: Max %d below Avg %d", c.Max, c.Avg)
+	}
+	return nil
+}
+
+// maskFor derives the boundary mask from the average chunk size: the
+// smallest 2^k-1 with 2^k >= avg. A boundary fires when the low k bits
+// of the rolling hash are all ones.
+func maskFor(avg int) uint32 {
+	k := bits.Len(uint(avg - 1))
+	return uint32(1)<<k - 1
+}
+
+// table is the byte-substitution table the rolling hash mixes through.
+// It is generated once from a fixed seed by a splitmix64 sequence, so
+// boundaries are identical across builds, architectures, and processes
+// — a requirement, since chunk handles derived from these boundaries
+// are persisted.
+var table = buildTable()
+
+func buildTable() (t [256]uint32) {
+	const golden = 0x9e3779b97f4a7c15
+	s := uint64(golden) // fixed seed: chunk boundaries are a wire format
+	for i := range t {
+		s += golden
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		t[i] = uint32(z >> 32)
+	}
+	return t
+}
+
+// Chunker is a streaming content-defined chunker. Feed it bytes in any
+// split; it reports the same absolute cut offsets as a single Feed of
+// the concatenation. Not safe for concurrent use.
+type Chunker struct {
+	cfg  Config
+	mask uint32
+
+	win  *parallel.Buf // leased windowSize-byte ring (plaintext: sensitive)
+	wpos int
+	h    uint32
+	n    int // bytes in the current (unfinished) chunk
+	off  int // absolute offset of the next byte to be fed
+
+	closed bool
+}
+
+// New returns a chunker over cfg (zero fields take defaults), leasing
+// its window from the shared arena. Call Close when done to return the
+// window.
+func New(cfg Config) (*Chunker, error) {
+	return NewWith(cfg, parallel.Shared)
+}
+
+// NewWith is New with an explicit buffer arena (the enclave passes its
+// own so pool hit/miss counters land in its metrics).
+func NewWith(cfg Config, arena *parallel.Arena) (*Chunker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Chunker{
+		cfg:  cfg,
+		mask: maskFor(cfg.Avg),
+		win:  arena.GetSensitive(windowSize),
+	}
+	clear(c.win.B)
+	return c, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Chunker) Config() Config { return c.cfg }
+
+// resetChunk clears the per-chunk rolling state. The window starts
+// zero-filled for every chunk, so a chunk's boundary depends only on
+// its own bytes — the determinism the dedup layer relies on.
+func (c *Chunker) resetChunk() {
+	c.h = 0
+	c.n = 0
+	c.wpos = 0
+	clear(c.win.B)
+}
+
+// Feed consumes p and returns the absolute end offsets (exclusive) of
+// every chunk completed within it. Offsets are cumulative across Feed
+// calls; cuts may be appended to a caller-owned slice by passing it as
+// cuts.
+func (c *Chunker) Feed(p []byte, cuts []int) []int {
+	if c.closed {
+		panic("chunker: Feed after Close")
+	}
+	win := c.win.B
+	h, wpos, n := c.h, c.wpos, c.n
+	min, max, mask := c.cfg.Min, c.cfg.Max, c.mask
+	for i, b := range p {
+		out := win[wpos]
+		win[wpos] = b
+		wpos = (wpos + 1) & (windowSize - 1)
+		h = bits.RotateLeft32(h, 1) ^ table[out] ^ table[b]
+		n++
+		if (n >= min && h&mask == mask) || n >= max {
+			cuts = append(cuts, c.off+i+1)
+			h, wpos, n = 0, 0, 0
+			clear(win)
+		}
+	}
+	c.h, c.wpos, c.n = h, wpos, n
+	c.off += len(p)
+	return cuts
+}
+
+// Flush terminates the stream: if a partial chunk is pending its end
+// offset is returned with ok=true. The chunker is reset and may be
+// reused for a fresh stream (offsets restart at zero).
+func (c *Chunker) Flush() (cut int, ok bool) {
+	if c.closed {
+		panic("chunker: Flush after Close")
+	}
+	cut, ok = c.off, c.n > 0
+	c.resetChunk()
+	c.off = 0
+	return cut, ok
+}
+
+// Close returns the window buffer to its arena. The chunker must not
+// be used afterwards.
+func (c *Chunker) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.win.Release()
+	c.win = nil
+}
+
+// Boundaries one-shots a full buffer: it returns the exclusive end
+// offset of every chunk, the last always equal to len(data). Empty
+// input yields nil. Equivalent to New + Feed + Flush with the window
+// leased and released around the call.
+func Boundaries(cfg Config, data []byte) ([]int, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	cuts := c.Feed(data, nil)
+	if cut, ok := c.Flush(); ok {
+		cuts = append(cuts, cut)
+	}
+	return cuts, nil
+}

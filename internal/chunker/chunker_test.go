@@ -1,0 +1,258 @@
+package chunker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// content returns deterministic pseudo-random bytes (high-entropy, so
+// the mask fires at the expected rate).
+func content(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func boundaries(t *testing.T, cfg Config, data []byte) []int {
+	t.Helper()
+	cuts, err := Boundaries(cfg, data)
+	if err != nil {
+		t.Fatalf("Boundaries: %v", err)
+	}
+	return cuts
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	cfg := c.Config()
+	if cfg.Avg != DefaultAvg || cfg.Min != DefaultAvg/4 || cfg.Max != DefaultAvg*4 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	// A tiny Avg clamps Min to the floor rather than zero.
+	c2, err := New(Config{Avg: 256})
+	if err != nil {
+		t.Fatalf("New small: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Config().Min; got != MinChunkFloor {
+		t.Fatalf("Min = %d, want floor %d", got, MinChunkFloor)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Min: 1024, Avg: 512, Max: 4096}, // Avg < Min
+		{Min: 512, Avg: 1024, Max: 768},  // Max < Avg
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+	// Min below the floor is clamped up, not rejected: derived configs
+	// (ChunkSize/4) may legitimately land under it.
+	c, err := New(Config{Min: 16, Avg: 1024, Max: 4096})
+	if err != nil {
+		t.Fatalf("New with tiny Min: %v", err)
+	}
+	defer c.Close()
+	if c.Config().Min != MinChunkFloor {
+		t.Fatalf("Min = %d, want clamped %d", c.Config().Min, MinChunkFloor)
+	}
+}
+
+func TestMaskFor(t *testing.T) {
+	cases := map[int]uint32{1024: 1023, 1025: 2047, 4096: 4095, 65536: 65535}
+	for avg, want := range cases {
+		if got := maskFor(avg); got != want {
+			t.Errorf("maskFor(%d) = %d, want %d", avg, got, want)
+		}
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	cfg := Config{Avg: 1024}
+	if cuts := boundaries(t, cfg, nil); cuts != nil {
+		t.Fatalf("empty input produced cuts %v", cuts)
+	}
+	// Input shorter than Min: one final chunk at Flush.
+	data := content(1, 100)
+	cuts := boundaries(t, cfg, data)
+	if len(cuts) != 1 || cuts[0] != 100 {
+		t.Fatalf("tiny input cuts = %v, want [100]", cuts)
+	}
+}
+
+func TestSizeBounds(t *testing.T) {
+	cfg := Config{Min: 512, Avg: 2048, Max: 8192}
+	data := content(2, 1<<20)
+	cuts := boundaries(t, cfg, data)
+	if cuts[len(cuts)-1] != len(data) {
+		t.Fatalf("last cut %d != len %d", cuts[len(cuts)-1], len(data))
+	}
+	prev := 0
+	for i, cut := range cuts {
+		size := cut - prev
+		if size <= 0 {
+			t.Fatalf("non-positive chunk at cut %d", i)
+		}
+		if size > cfg.Max {
+			t.Fatalf("chunk %d size %d exceeds Max %d", i, size, cfg.Max)
+		}
+		if size < cfg.Min && i != len(cuts)-1 {
+			t.Fatalf("non-final chunk %d size %d below Min %d", i, size, cfg.Min)
+		}
+		prev = cut
+	}
+	// The average should land within 4x of the target either way for
+	// high-entropy input (loose: the mask geometric distribution is
+	// truncated by Min and Max).
+	avg := len(data) / len(cuts)
+	if avg < cfg.Min || avg > cfg.Max {
+		t.Fatalf("observed average %d outside [Min,Max]", avg)
+	}
+}
+
+func TestMaxForcedCut(t *testing.T) {
+	// All-zero input never matches a nontrivial mask: every chunk must
+	// be cut at exactly Max (except the final remainder).
+	cfg := Config{Min: 512, Avg: 2048, Max: 4096}
+	data := make([]byte, 10000)
+	cuts := boundaries(t, cfg, data)
+	want := []int{4096, 8192, 10000}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+}
+
+func TestStreamingEqualsOneShot(t *testing.T) {
+	cfg := Config{Min: 256, Avg: 1024, Max: 4096}
+	data := content(3, 256<<10)
+	want := boundaries(t, cfg, data)
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var got []int
+		rest := data
+		for len(rest) > 0 {
+			n := 1 + rng.Intn(len(rest))
+			got = c.Feed(rest[:n], got)
+			rest = rest[n:]
+		}
+		if cut, ok := c.Flush(); ok {
+			got = append(got, cut)
+		}
+		c.Close()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d cuts, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: cut[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestChunkerReuseAfterFlush(t *testing.T) {
+	cfg := Config{Min: 256, Avg: 1024, Max: 4096}
+	data := content(4, 64<<10)
+	want := boundaries(t, cfg, data)
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	for round := 0; round < 3; round++ {
+		got := c.Feed(data, nil)
+		if cut, ok := c.Flush(); ok {
+			got = append(got, cut)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d cuts, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: cut[%d] = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEditLocality is the property dedup depends on: a point edit
+// re-chunks only its neighbourhood, so chunks away from the edit keep
+// their exact (offset-adjusted) content.
+func TestEditLocality(t *testing.T) {
+	cfg := Config{Min: 512, Avg: 2048, Max: 8192}
+	orig := content(5, 256<<10)
+	edited := bytes.Clone(orig)
+	edited[128<<10] ^= 0xff
+
+	origChunks := chunkSet(t, cfg, orig)
+	editChunks := chunkSet(t, cfg, edited)
+
+	shared := 0
+	for h := range editChunks {
+		if origChunks[h] {
+			shared++
+		}
+	}
+	if len(editChunks)-shared > 3 {
+		t.Fatalf("point edit changed %d of %d chunks; want <= 3",
+			len(editChunks)-shared, len(editChunks))
+	}
+}
+
+func chunkSet(t *testing.T, cfg Config, data []byte) map[string]bool {
+	t.Helper()
+	set := make(map[string]bool)
+	prev := 0
+	for _, cut := range boundaries(t, cfg, data) {
+		set[string(data[prev:cut])] = true
+		prev = cut
+	}
+	return set
+}
+
+func TestClosePanicsOnUse(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Close()
+	c.Close() // second Close is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed after Close did not panic")
+		}
+	}()
+	c.Feed([]byte("x"), nil)
+}
+
+func BenchmarkChunker(b *testing.B) {
+	data := content(6, 4<<20)
+	cfg := Config{Avg: 4096}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Boundaries(cfg, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package chunker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzChunkerBoundaries checks the chunker's load-bearing invariants
+// under arbitrary input and arbitrary stream splits:
+//
+//  1. streaming (any split sequence) ≡ one-shot boundaries,
+//  2. every chunk size lies in [Min, Max] except a shorter final chunk,
+//  3. the cuts tile the input exactly (strictly increasing, last ==
+//     len(data)),
+//  4. re-chunking the concatenation of the chunks reproduces the cuts
+//     (determinism / self-consistency).
+func FuzzChunkerBoundaries(f *testing.F) {
+	f.Add([]byte(""), uint64(0))
+	f.Add([]byte("hello, content-defined world"), uint64(1))
+	f.Add(content(7, 4096), uint64(7))
+	f.Add(make([]byte, 2048), uint64(3)) // low entropy: Max-forced cuts
+	f.Add(content(8, 300), uint64(42))
+
+	f.Fuzz(func(t *testing.T, data []byte, splitSeed uint64) {
+		cfg := Config{Min: MinChunkFloor, Avg: 512, Max: 2048}
+		oneShot, err := Boundaries(cfg, data)
+		if err != nil {
+			t.Fatalf("Boundaries: %v", err)
+		}
+
+		// Invariant 3: exact tiling.
+		prev := 0
+		for i, cut := range oneShot {
+			if cut <= prev || cut > len(data) {
+				t.Fatalf("cut %d = %d not in (%d, %d]", i, cut, prev, len(data))
+			}
+			size := cut - prev
+			// Invariant 2: size bounds.
+			if size > cfg.Max {
+				t.Fatalf("chunk %d size %d > Max %d", i, size, cfg.Max)
+			}
+			if size < cfg.Min && i != len(oneShot)-1 {
+				t.Fatalf("non-final chunk %d size %d < Min %d", i, size, cfg.Min)
+			}
+			prev = cut
+		}
+		if len(data) == 0 {
+			if oneShot != nil {
+				t.Fatalf("empty input produced cuts %v", oneShot)
+			}
+			return
+		}
+		if oneShot[len(oneShot)-1] != len(data) {
+			t.Fatalf("last cut %d != len %d", oneShot[len(oneShot)-1], len(data))
+		}
+
+		// Invariant 1: arbitrary split streaming matches.
+		rng := rand.New(rand.NewSource(int64(splitSeed)))
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer c.Close()
+		var streamed []int
+		rest := data
+		for len(rest) > 0 {
+			n := 1 + rng.Intn(len(rest))
+			streamed = c.Feed(rest[:n], streamed)
+			rest = rest[n:]
+		}
+		if cut, ok := c.Flush(); ok {
+			streamed = append(streamed, cut)
+		}
+		if len(streamed) != len(oneShot) {
+			t.Fatalf("streamed %d cuts, one-shot %d", len(streamed), len(oneShot))
+		}
+		for i := range oneShot {
+			if streamed[i] != oneShot[i] {
+				t.Fatalf("cut[%d]: streamed %d, one-shot %d", i, streamed[i], oneShot[i])
+			}
+		}
+
+		// Invariant 4: re-chunking the concatenation of chunks (the
+		// original data, reassembled) is a fixed point.
+		again, err := Boundaries(cfg, data)
+		if err != nil {
+			t.Fatalf("Boundaries (again): %v", err)
+		}
+		for i := range oneShot {
+			if again[i] != oneShot[i] {
+				t.Fatalf("re-chunk diverged at %d: %d vs %d", i, again[i], oneShot[i])
+			}
+		}
+	})
+}

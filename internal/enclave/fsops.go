@@ -320,7 +320,11 @@ func (e *Enclave) Remove(path string) error {
 					return err
 				}
 			} else {
-				if f.Size > 0 {
+				if f.ContentDefined {
+					// Chunk drops flush (and zeroed chunks delete) only
+					// after the filenode object is off the store.
+					e.casStageDecsLocked(f.Extents)
+				} else if f.Size > 0 {
 					if err := e.deleteObject(objName(f.DataUUID)); err != nil && !isNotExist(err) {
 						return fmt.Errorf("deleting data object: %w", err)
 					}
@@ -330,6 +334,9 @@ func (e *Enclave) Remove(path string) error {
 				}
 				e.cache.invalidate(entry.UUID)
 				if err := e.recordFreshnessLocked(map[uuid.UUID]uint64{entry.UUID: 0}); err != nil {
+					return err
+				}
+				if err := e.casFinishEagerLocked(); err != nil {
 					return err
 				}
 			}
@@ -715,7 +722,11 @@ func (e *Enclave) removeFileEntryLocked(dir *metadata.Dirnode, entry metadata.Di
 		f.Parent = uuid.Nil
 		return e.flushFilenodeLocked(f, fv+1)
 	}
-	if f.Size > 0 {
+	if f.ContentDefined {
+		// Chunk drops flush (and zeroed chunks delete) only after the
+		// filenode object is off the store.
+		e.casStageDecsLocked(f.Extents)
+	} else if f.Size > 0 {
 		if err := e.deleteObject(objName(f.DataUUID)); err != nil && !isNotExist(err) {
 			return err
 		}
@@ -724,7 +735,7 @@ func (e *Enclave) removeFileEntryLocked(dir *metadata.Dirnode, entry metadata.Di
 		return err
 	}
 	e.cache.invalidate(entry.UUID)
-	return nil
+	return e.casFinishEagerLocked()
 }
 
 // lockDirsLocked takes the store locks of one or two directories in a
@@ -778,6 +789,13 @@ func (e *Enclave) streamCutoffBytes() int {
 // interface's ownership rules). On stream-capable stores, writes at or
 // above the streaming cutoff overlap chunk sealing with the upload.
 func (e *Enclave) encryptAndPutLocked(f *metadata.Filenode, data []byte) error {
+	// Content-defined files (and every write under the ContentDefined
+	// knob) go through the dedup layer instead: once a file has an
+	// extent list it stays content-defined even if the knob is later
+	// turned off, so its chunks' refcounts keep balancing.
+	if e.cfg.ContentDefined || f.ContentDefined {
+		return e.writeFileCDCLocked(f, data)
+	}
 	name := objName(f.DataUUID)
 	sealedLen := f.SealedSize(len(data))
 	buf := e.arena.Get(sealedLen)
@@ -937,7 +955,9 @@ func (e *Enclave) WriteFile(path string, data []byte) error {
 			e.cache.invalidate(f.UUID)
 			return err
 		}
-		return nil
+		// The filenode is durable; replaced CDC chunks may now drop
+		// (no-op for fixed-size writes and in write-back mode).
+		return e.casFinishEagerLocked()
 	})
 }
 
@@ -982,6 +1002,10 @@ func (e *Enclave) ReadFile(path string) ([]byte, error) {
 		if f.Size == 0 {
 			out = []byte{}
 			return nil
+		}
+		if f.ContentDefined {
+			out, err = e.readFileCDCLocked(f)
+			return err
 		}
 		blob, _, err := e.fetchDataObject(objName(f.DataUUID))
 		if err != nil {

@@ -295,7 +295,8 @@ func (e *Enclave) drainWithRetryLocked() error {
 // rewrites the freshness table once. On failure the un-flushed portion
 // of the set is left intact for retry.
 func (e *Enclave) drainLocked() error {
-	if e.wb == nil || (len(e.wb.nodes) == 0 && len(e.wb.deletes) == 0 && !e.wb.superDirty) {
+	if e.wb == nil || (len(e.wb.nodes) == 0 && len(e.wb.deletes) == 0 && !e.wb.superDirty &&
+		len(e.casDecs) == 0 && len(e.casPendingDeletes) == 0) {
 		return nil
 	}
 	span := e.metrics.tracer.Begin("enclave.flush_batch")
@@ -325,7 +326,15 @@ func (e *Enclave) drainLocked() error {
 	e.wb.ops, e.wb.bytes, e.wb.pressure = 0, 0, false
 	e.metrics.flushBatches.Inc()
 	e.metrics.dirtyGauge.Set(0)
-	return e.recordFreshnessLocked(updates)
+	if err := e.recordFreshnessLocked(updates); err != nil {
+		return err
+	}
+	// CDC reference drops flush last of all: every filenode upload and
+	// every staged filenode deletion has run, so a chunk that reaches
+	// zero here is provably unreferenced by anything on the store. A
+	// failure keeps the drops queued for the next drain (the table
+	// overcounts in the interim, which only leaks).
+	return e.casFlushDecsLocked()
 }
 
 // flushDirtyNodesLocked uploads dirty nodes children-first, then runs
@@ -547,8 +556,10 @@ func (e *Enclave) removeWritebackLocked(w walkResult, path, name string) error {
 	case metadata.KindFile:
 		if n, ok := e.wb.nodes[entry.UUID]; ok && n.file != nil {
 			// Pending create: cancel it; only the eagerly-uploaded data
-			// object (if any) needs a staged delete.
-			if n.file.Size > 0 {
+			// (a legacy object, or CDC chunk references) needs dropping.
+			if n.file.ContentDefined {
+				e.casStageDecsLocked(n.file.Extents)
+			} else if n.file.Size > 0 {
 				e.stageDeleteLocked(n.file.DataUUID, false)
 			}
 			e.dropDirtyNodeLocked(entry.UUID)
@@ -572,7 +583,11 @@ func (e *Enclave) removeWritebackLocked(w walkResult, path, name string) error {
 					return err
 				}
 			} else {
-				if f.Size > 0 {
+				if f.ContentDefined {
+					// The drops flush at the drain's tail, after the staged
+					// filenode deletion below has run.
+					e.casStageDecsLocked(f.Extents)
+				} else if f.Size > 0 {
 					e.stageDeleteLocked(f.DataUUID, false)
 				}
 				e.stageDeleteLocked(entry.UUID, true)

@@ -1,0 +1,246 @@
+package metadata
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"nexus/internal/cas"
+	"nexus/internal/uuid"
+)
+
+func extentFilenode(t *testing.T, sizes ...uint32) *Filenode {
+	t.Helper()
+	secret := cas.DeriveSecret([]byte("extent test volume"))
+	f := NewFilenode(uuid.New(), uuid.New(), 0)
+	f.ContentDefined = true
+	f.ChunkSize = 0
+	var total uint64
+	for i, n := range sizes {
+		f.Extents = append(f.Extents, cas.Extent{
+			Handle: secret.HandleFor([]byte{byte(i)}),
+			Len:    n,
+		})
+		total += uint64(n)
+	}
+	f.Size = total
+	return f
+}
+
+func TestFilenodeExtentEncodeDecode(t *testing.T) {
+	f := extentFilenode(t, 4096, 100, 65536)
+	f.LinkCount = 3
+	body := f.EncodeBody()
+	got, err := DecodeFilenodeBody(f.UUID, f.Parent, body)
+	if err != nil {
+		t.Fatalf("DecodeFilenodeBody: %v", err)
+	}
+	if !got.ContentDefined {
+		t.Fatal("decoded filenode lost ContentDefined")
+	}
+	if got.Size != f.Size || got.LinkCount != 3 || got.DataUUID != f.DataUUID {
+		t.Fatalf("field mismatch: %+v", got)
+	}
+	if len(got.Extents) != 3 {
+		t.Fatalf("decoded %d extents, want 3", len(got.Extents))
+	}
+	for i := range f.Extents {
+		if got.Extents[i] != f.Extents[i] {
+			t.Fatalf("extent %d mismatch", i)
+		}
+	}
+	if got.NumChunks() != 3 {
+		t.Fatalf("NumChunks = %d, want 3", got.NumChunks())
+	}
+	// Round trip is canonical.
+	if !bytes.Equal(got.EncodeBody(), body) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+func TestFilenodeExtentZeroLength(t *testing.T) {
+	// A zero-length content-defined file has no extents — and the
+	// decoder must reject any blob claiming otherwise.
+	f := extentFilenode(t)
+	got, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody())
+	if err != nil {
+		t.Fatalf("empty extent file: %v", err)
+	}
+	if got.Size != 0 || len(got.Extents) != 0 || got.NumChunks() != 0 {
+		t.Fatalf("empty file decoded as %+v", got)
+	}
+}
+
+func TestFilenodeExtentSizeMismatchRejected(t *testing.T) {
+	// Stale Size vs extent coverage must fail decode, both directions.
+	for _, delta := range []uint64{1, ^uint64(0)} { // +1 and -1
+		f := extentFilenode(t, 1000, 24)
+		f.Size += delta
+		if _, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody()); err == nil {
+			t.Fatalf("size drift %d accepted", int64(delta))
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("size drift error = %v, want ErrMalformed", err)
+		}
+	}
+	// Size > 0 with no extents.
+	f := extentFilenode(t)
+	f.Size = 10
+	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody()); err == nil {
+		t.Fatal("size without extents accepted")
+	}
+}
+
+func TestFilenodeExtentUnknownFormatRejected(t *testing.T) {
+	f := extentFilenode(t, 64)
+	body := f.EncodeBody()
+	// format byte sits right after DataUUID(16) + Size(8) + ChunkSize(4).
+	body[uuid.Size+8+4] = 0x7f
+	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, body); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown format error = %v, want ErrMalformed", err)
+	}
+}
+
+// TestFilenodeLegacyChunkCountMismatchRejected is the size-accounting
+// regression for the legacy layout: a blob whose chunk-context count
+// disagrees with ceil(Size/ChunkSize) — a stale Size from a buggy or
+// tampered writer — must fail decode instead of lurking until read.
+func TestFilenodeLegacyChunkCountMismatchRejected(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.New(), 1024)
+	pt := make([]byte, 2500) // 3 chunks
+	if _, err := rand.Read(pt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EncryptContent(pt); err != nil {
+		t.Fatal(err)
+	}
+	body := f.EncodeBody()
+	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, body); err != nil {
+		t.Fatalf("honest blob rejected: %v", err)
+	}
+	// Shrink the recorded size without touching the chunk table: the
+	// decoder must notice 3 contexts can't belong to a 1-chunk file.
+	bad := bytes.Clone(body)
+	binary.LittleEndian.PutUint64(bad[uuid.Size:], 1000)
+	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("stale-size blob error = %v, want ErrMalformed", err)
+	}
+	// Zero-size with leftover chunk contexts is the truncate-to-empty
+	// variant of the same corruption.
+	bad2 := bytes.Clone(body)
+	binary.LittleEndian.PutUint64(bad2[uuid.Size:], 0)
+	if _, err := DecodeFilenodeBody(f.UUID, f.Parent, bad2); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-size blob with chunks error = %v, want ErrMalformed", err)
+	}
+}
+
+// TestFilenodeTruncateAccounting pins the in-memory accounting across
+// shrinking rewrites: truncate-to-shorter must drop trailing chunk
+// contexts, truncate-to-empty must drop all of them, and the final
+// partial chunk must seal at its short length, not the full chunk size.
+func TestFilenodeTruncateAccounting(t *testing.T) {
+	f := NewFilenode(uuid.New(), uuid.New(), 1024)
+	write := func(n int) []byte {
+		t.Helper()
+		pt := make([]byte, n)
+		if _, err := rand.Read(pt); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := f.EncryptContent(pt)
+		if err != nil {
+			t.Fatalf("EncryptContent(%d): %v", n, err)
+		}
+		if got, err := f.DecryptContent(blob); err != nil || !bytes.Equal(got, pt) {
+			t.Fatalf("round trip at %d bytes: %v", n, err)
+		}
+		return blob
+	}
+
+	write(5000) // 5 chunks
+	if len(f.Chunks) != 5 {
+		t.Fatalf("chunks = %d, want 5", len(f.Chunks))
+	}
+	// Truncate to a shorter content that ends mid-chunk.
+	blob := write(1500) // 2 chunks, final one 476 bytes
+	if len(f.Chunks) != 2 || f.NumChunks() != 2 || f.Size != 1500 {
+		t.Fatalf("after truncate: chunks=%d size=%d", len(f.Chunks), f.Size)
+	}
+	if len(blob) != 1500+2*16 {
+		t.Fatalf("sealed blob %d bytes, want %d", len(blob), 1500+2*16)
+	}
+	// Overwrite only the final partial chunk's worth of growth: sizes
+	// around the chunk boundary.
+	for _, n := range []int{1023, 1024, 1025} {
+		write(n)
+		want := 1
+		if n > 1024 {
+			want = 2
+		}
+		if len(f.Chunks) != want || f.SealedSize(n) != n+want*16 {
+			t.Fatalf("size %d: chunks=%d sealed=%d", n, len(f.Chunks), f.SealedSize(n))
+		}
+	}
+	// Truncate to empty: no chunks, no stale contexts, decode clean.
+	write(0)
+	if len(f.Chunks) != 0 || f.Size != 0 || f.SealedSize(0) != 0 {
+		t.Fatalf("after truncate-to-empty: chunks=%d size=%d", len(f.Chunks), f.Size)
+	}
+	got, err := DecodeFilenodeBody(f.UUID, f.Parent, f.EncodeBody())
+	if err != nil {
+		t.Fatalf("decode after truncate-to-empty: %v", err)
+	}
+	if got.NumChunks() != 0 {
+		t.Fatalf("decoded chunk count %d after truncate-to-empty", got.NumChunks())
+	}
+}
+
+// TestFilenodeLegacyExtentDifferential decodes the same logical file
+// from both layouts and checks the shared fields agree — the
+// old↔new differential the acceptance criteria call for.
+func TestFilenodeLegacyExtentDifferential(t *testing.T) {
+	pt := make([]byte, 3000)
+	if _, err := rand.Read(pt); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := NewFilenode(uuid.New(), uuid.New(), 1024)
+	legacy.LinkCount = 2
+	if _, err := legacy.EncryptContent(pt); err != nil {
+		t.Fatal(err)
+	}
+
+	secret := cas.DeriveSecret([]byte("differential volume"))
+	cdc := &Filenode{
+		UUID: legacy.UUID, Parent: legacy.Parent, DataUUID: legacy.DataUUID,
+		Size: 3000, LinkCount: 2, ContentDefined: true,
+		Extents: []cas.Extent{
+			{Handle: secret.HandleFor(pt[:1024]), Len: 1024},
+			{Handle: secret.HandleFor(pt[1024:2048]), Len: 1024},
+			{Handle: secret.HandleFor(pt[2048:]), Len: 952},
+		},
+	}
+
+	gotLegacy, err := DecodeFilenodeBody(legacy.UUID, legacy.Parent, legacy.EncodeBody())
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	gotCDC, err := DecodeFilenodeBody(cdc.UUID, cdc.Parent, cdc.EncodeBody())
+	if err != nil {
+		t.Fatalf("cdc decode: %v", err)
+	}
+	if gotLegacy.Size != gotCDC.Size || gotLegacy.LinkCount != gotCDC.LinkCount ||
+		gotLegacy.UUID != gotCDC.UUID || gotLegacy.Parent != gotCDC.Parent {
+		t.Fatalf("layouts disagree on shared fields:\nlegacy %+v\ncdc    %+v", gotLegacy, gotCDC)
+	}
+	if gotLegacy.ContentDefined || !gotCDC.ContentDefined {
+		t.Fatal("layout discrimination failed")
+	}
+	if gotLegacy.NumChunks() != 3 || gotCDC.NumChunks() != 3 {
+		t.Fatalf("chunk counts: legacy %d, cdc %d", gotLegacy.NumChunks(), gotCDC.NumChunks())
+	}
+	// The legacy blob must keep round-tripping byte-for-byte.
+	if !bytes.Equal(gotLegacy.EncodeBody(), legacy.EncodeBody()) {
+		t.Fatal("legacy layout no longer round-trips")
+	}
+}

@@ -47,6 +47,9 @@ const (
 	// TypeFreshness is the optional volume-wide version table (the
 	// §VI-C hash-tree mitigation implemented in internal/enclave).
 	TypeFreshness
+	// TypeRefTable is the content-addressed store's chunk
+	// reference-count table (DESIGN.md §16), one per volume.
+	TypeRefTable
 )
 
 func (t ObjType) String() string {
@@ -61,6 +64,8 @@ func (t ObjType) String() string {
 		return "dirbucket"
 	case TypeFreshness:
 		return "freshness"
+	case TypeRefTable:
+		return "reftable"
 	default:
 		return fmt.Sprintf("objtype(%d)", uint8(t))
 	}
@@ -140,7 +145,7 @@ func decodePreamble(b []byte) (Preamble, error) {
 	if err := r.Err(); err != nil {
 		return p, err
 	}
-	if p.Type < TypeSupernode || p.Type > TypeFreshness {
+	if p.Type < TypeSupernode || p.Type > TypeRefTable {
 		return p, fmt.Errorf("%w: unknown object type %d", ErrMalformed, p.Type)
 	}
 	return p, nil

@@ -119,10 +119,22 @@ func (s *VersionedStore) PutVersionedStream(name string, total int, next func() 
 	return s.PutVersioned(name, buf)
 }
 
-// Delete implements enclave.ObjectStore.
+// Delete implements enclave.ObjectStore. The version counter is dropped
+// with the object: uuid-named metadata objects never reuse a name, and
+// content-addressed chunk objects ("cas-…") may be garbage-collected and
+// later recreated when the same content reappears — they are immutable
+// and self-authenticating, so a version restarting at 1 is harmless,
+// while keeping counters for deleted names would grow the map by one
+// entry per churned chunk for the life of the mount.
 func (s *VersionedStore) Delete(name string) error {
 	defer s.span("store.delete").End()
-	return s.store.Delete(name)
+	if err := s.store.Delete(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.versions, name)
+	s.mu.Unlock()
+	return nil
 }
 
 // Lock implements enclave.ObjectStore.

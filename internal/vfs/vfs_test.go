@@ -74,6 +74,30 @@ func TestVersionedStoreVersions(t *testing.T) {
 	}
 }
 
+func TestVersionedStoreDeleteDropsVersion(t *testing.T) {
+	s := NewVersionedStore(backend.NewMemStore())
+	if _, err := s.PutVersioned("cas-abc", []byte("chunk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("cas-abc"); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	_, tracked := s.versions["cas-abc"]
+	s.mu.Unlock()
+	if tracked {
+		t.Fatal("version counter survived Delete; the map would grow by one entry per GC-churned chunk")
+	}
+	// Recreation restarts versioning cleanly.
+	v, err := s.PutVersioned("cas-abc", []byte("chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("recreated object got version %d, want 1", v)
+	}
+}
+
 func TestMkdirAllAndRemoveAll(t *testing.T) {
 	fs := newTestFS(t)
 	if err := fs.MkdirAll("/a/b/c/d"); err != nil {

@@ -182,8 +182,21 @@ type ClientConfig struct {
 	IAS *AttestationService
 	// BucketSize caps dirnode bucket entries (default 128).
 	BucketSize uint32
-	// ChunkSize is the file encryption chunk size (default 1 MiB).
+	// ChunkSize is the file encryption chunk size (default 1 MiB). With
+	// ContentDefined it is the average chunk size instead (the chunker
+	// cuts between ChunkSize/4 and 4×ChunkSize).
 	ChunkSize uint32
+	// ContentDefined switches file contents from fixed-size chunks to
+	// content-defined chunking over a deduplicated content-addressed
+	// store (DESIGN.md §16): a rolling hash cuts chunk boundaries from
+	// the bytes themselves, each chunk is sealed once under a
+	// volume-scoped convergent key, and identical plaintext — within a
+	// file, across files, or across versions — is stored exactly once.
+	// Edits re-upload only the chunks they touch. Existing fixed-size
+	// files stay readable and convert on their next write; once
+	// converted, a file stays content-defined even if the knob is later
+	// cleared.
+	ContentDefined bool
 	// CryptoWorkers bounds the parallel chunk-crypto fan-out on file
 	// reads and writes: 0 uses GOMAXPROCS (serial below a small-file
 	// cutoff), 1 forces the serial path.
@@ -201,17 +214,24 @@ type ClientConfig struct {
 	// DisableMetadataCache turns off the in-enclave metadata cache
 	// (ablation studies).
 	DisableMetadataCache bool
-	// FreshnessTree enables volume-wide rollback protection (§VI-C):
-	// every metadata object's version is recorded in a single
-	// authenticated table updated on every write. Stronger freshness at
-	// the cost of one extra object read/write per operation.
+	// FreshnessFlat opts out of the default Merkle-authenticated
+	// namespace in favour of the legacy flat freshness table (§VI-C):
+	// every metadata object's version recorded in one authenticated
+	// table re-sealed on each write — O(n) state, kept as the
+	// differential oracle and the `-exp freshness` baseline. Mutually
+	// exclusive with FreshnessMerkle.
+	FreshnessFlat bool
+	// FreshnessTree is a deprecated alias for FreshnessFlat, retained
+	// for configs written before the Merkle namespace became the
+	// default.
 	FreshnessTree bool
-	// FreshnessMerkle enables the Merkle-authenticated namespace
-	// (DESIGN.md §15): the same whole-volume rollback protection with
-	// O(1) enclave-resident state and O(log n) proofs per metadata
-	// load. The client wraps the store in vfs.NewFreshnessStore
-	// automatically when it does not already serve proofs. Mutually
-	// exclusive with FreshnessTree.
+	// FreshnessMerkle requests the Merkle-authenticated namespace
+	// (DESIGN.md §15): whole-volume rollback protection with O(1)
+	// enclave-resident state and O(log n) proofs per metadata load. The
+	// client wraps the store in vfs.NewFreshnessStore automatically
+	// when it does not already serve proofs. This is the DEFAULT — the
+	// field is retained so configs can state it explicitly, and setting
+	// it alongside FreshnessFlat is an error.
 	FreshnessMerkle bool
 	// WritebackMode selects the metadata flush policy: "on" (and the
 	// default, "") batches metadata flushes in an in-enclave dirty set
@@ -264,6 +284,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("nexus: ClientConfig.Store is required")
 	}
+	// Merkle freshness is the default; the flat table is the explicit
+	// opt-out (FreshnessTree is its pre-rename spelling).
+	if cfg.FreshnessMerkle && (cfg.FreshnessFlat || cfg.FreshnessTree) {
+		return nil, fmt.Errorf("nexus: FreshnessMerkle and FreshnessFlat are mutually exclusive")
+	}
+	flatFreshness := cfg.FreshnessFlat || cfg.FreshnessTree
+	merkleFreshness := !flatFreshness
 	var writeback enclave.WritebackMode
 	switch cfg.WritebackMode {
 	case "", "on":
@@ -292,7 +319,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("nexus: loading enclave: %w", err)
 	}
 	store := cfg.Store
-	if cfg.FreshnessMerkle {
+	if merkleFreshness {
 		if _, ok := store.(enclave.FreshnessProofStore); !ok {
 			store = vfs.NewFreshnessStore(store)
 		}
@@ -303,10 +330,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		IAS:                  cfg.IAS,
 		BucketSize:           cfg.BucketSize,
 		ChunkSize:            cfg.ChunkSize,
+		ContentDefined:       cfg.ContentDefined,
 		CryptoWorkers:        cfg.CryptoWorkers,
 		DisableMetadataCache: cfg.DisableMetadataCache,
-		FreshnessTree:        cfg.FreshnessTree,
-		FreshnessMerkle:      cfg.FreshnessMerkle,
+		FreshnessTree:        flatFreshness,
+		FreshnessMerkle:      merkleFreshness,
 		Writeback:            writeback,
 		WritebackMaxOps:      cfg.WritebackMaxOps,
 		WritebackMaxBytes:    cfg.WritebackMaxBytes,

@@ -251,9 +251,11 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Errorf("revoke: vfs_setacl_total moved %d, want 1", vDelta["vfs_setacl_total"])
 	}
 	// Revocation is a single-dirnode metadata update (the paper's core
-	// claim): exactly one metadata flush, no file re-encryption.
-	if vDelta["enclave_metadata_flushes_total"] != 1 {
-		t.Errorf("revoke: metadata flushes moved %d, want 1", vDelta["enclave_metadata_flushes_total"])
+	// claim): one metadata flush plus the Merkle freshness root that
+	// accompanies every metadata write under the default freshness
+	// mode — and no file re-encryption either way.
+	if vDelta["enclave_metadata_flushes_total"] != 2 {
+		t.Errorf("revoke: metadata flushes moved %d, want 2 (dirnode + merkle root)", vDelta["enclave_metadata_flushes_total"])
 	}
 	vSpans := tracer.Take()
 	vRoot := findSpan(vSpans, "vfs.setacl")
